@@ -1,0 +1,65 @@
+// Baseline bench — paper Sec. 1's architecture argument:
+//
+//   "For a fully parallel hardware realization each node is instantiated
+//    and the connections between them are hardwired. This was shown in [4]
+//    for a 1024 bit LDPC code. But even for this relatively short block
+//    length severe routing congestion problems exist. Therefore a partly
+//    parallel architecture becomes mandatory for larger block length."
+//
+// Quantifies the claim with the fully-parallel estimator: a ~1k-bit
+// regular code (the Blanksby/Howland design point, reported at 52.5 mm² in
+// 0.16 µm) vs. the DVB-S2 N = 64800 code, against the partly-parallel
+// Table-3 total of 22.74 mm².
+#include <iostream>
+
+#include "arch/area.hpp"
+#include "arch/baselines.hpp"
+#include "bench_common.hpp"
+
+using namespace dvbs2;
+
+int main() {
+    bench::banner("Baseline / Sec. 1", "fully parallel vs. partly parallel realization");
+
+    // A 1024-bit-class regular code at small parallelism (the paper's [4]
+    // reference design point: N=1024, regular degree-3/6-ish).
+    const auto small = code::toy_params(8, 64, 0, 4, 64, 1);  // N = 1024, K = 512
+    // The paper's code.
+    const auto big = code::standard_params(code::CodeRate::R1_2);
+
+    util::TextTable t;
+    t.set_header({"design", "N", "logic [mm^2]", "routing [mm^2]", "total [mm^2]",
+                  "info throughput"});
+    const auto est_small = arch::fully_parallel_estimate(small, quant::kQuant6);
+    const auto est_big = arch::fully_parallel_estimate(big, quant::kQuant6);
+
+    std::vector<code::CodeParams> all;
+    for (auto r : code::all_rates()) all.push_back(code::standard_params(r));
+    const auto partly = arch::area_model(all, quant::kQuant6);
+
+    auto tp = [](double bps) { return util::TextTable::num(bps / 1e9, 1) + " Gbit/s"; };
+    t.add_row({"fully parallel (1024-bit ref [4])", util::TextTable::num((long long)small.n),
+               util::TextTable::num(est_small.logic_mm2, 1),
+               util::TextTable::num(est_small.routing_mm2, 1),
+               util::TextTable::num(est_small.total_mm2, 1), tp(est_small.info_throughput_bps)});
+    t.add_row({"fully parallel (DVB-S2 R=1/2)", util::TextTable::num((long long)big.n),
+               util::TextTable::num(est_big.logic_mm2, 1),
+               util::TextTable::num(est_big.routing_mm2, 1),
+               util::TextTable::num(est_big.total_mm2, 1), tp(est_big.info_throughput_bps)});
+    t.add_row({"partly parallel (this paper, all rates)", util::TextTable::num((long long)big.n),
+               "-", "-", util::TextTable::num(partly.total_mm2, 1), "0.26 Gbit/s (Eq. 8)"});
+    t.print(std::cout);
+
+    const double blowup = est_big.total_mm2 / partly.total_mm2;
+    std::cout << "\nfully parallel at N = 64800 needs ~" << util::TextTable::num(blowup, 0)
+              << "x the silicon of the paper's partly parallel core. The 1024-bit\n"
+              << "reference is feasible (single-digit mm^2 in this lean 0.13 um min-sum\n"
+              << "model; [4] reports 52.5 mm^2 at 0.16 um with a richer datapath), with\n"
+              << "interconnect already ~half the area — the Sec. 1 argument, quantified.\n";
+    const bool pass = est_big.total_mm2 > 10.0 * partly.total_mm2 &&
+                      est_small.total_mm2 > 2.0 && est_small.total_mm2 < 200.0 &&
+                      est_small.routing_mm2 > 0.3 * est_small.logic_mm2;
+    std::cout << (pass ? "Baseline PASS: partly parallel is mandatory at N = 64800\n"
+                       : "Baseline FAIL\n");
+    return pass ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the experiment benches (E1..E11, see DESIGN.md §3).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "code/params.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace dvbs2::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& title) {
+    std::cout << "=== " << id << ": " << title << " ===\n";
+}
+
+/// Scientific-notation formatting for BER columns.
+inline std::string sci(double v, int prec = 2) {
+    std::ostringstream os;
+    os.precision(prec);
+    os << std::scientific << v;
+    return os.str();
+}
+
+/// Parses a rate label ("1/2") into the enum; throws on junk.
+inline code::CodeRate parse_rate(const std::string& s) {
+    for (auto r : code::all_rates())
+        if (code::to_string(r) == s) return r;
+    throw std::runtime_error("unknown rate " + s);
+}
+
+}  // namespace dvbs2::bench

@@ -1,0 +1,44 @@
+// Ablation bench — Gaussian-approximation density evolution vs. the
+// Shannon limit (analytic companion to experiment E8).
+//
+// For every rate: the BPSK-constrained Shannon limit, the GA-DE asymptotic
+// threshold (1000 iterations) and the 30-iteration GA-DE threshold (the
+// paper's operating point), all analytic (no Monte Carlo). Shows where the
+// "≈0.7 dB to Shannon" of the ensemble comes from, and quantifies what the
+// 30-iteration cap costs per rate.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "comm/capacity.hpp"
+#include "comm/density_evolution.hpp"
+#include "comm/modem.hpp"
+
+using namespace dvbs2;
+
+int main() {
+    bench::banner("DE ablation", "GA density-evolution thresholds per rate");
+
+    util::TextTable t;
+    t.set_header({"Rate", "Shannon [dB]", "DE inf-iter [dB]", "DE 30-iter [dB]",
+                  "asymptotic gap [dB]", "30-iter penalty [dB]"});
+    bool sane = true;
+    for (auto rate : code::all_rates()) {
+        const auto p = code::standard_params(rate);
+        const double sh = comm::shannon_limit_bpsk_db(p.rate());
+        const double de_inf = comm::de_threshold_db(p, 1000);
+        const double de_30 = comm::de_threshold_db(p, 30);
+        sane = sane && de_inf > sh - 0.05 && de_30 >= de_inf - 1e-6;
+        t.add_row({code::to_string(rate), util::TextTable::num(sh, 2),
+                   util::TextTable::num(de_inf, 2), util::TextTable::num(de_30, 2),
+                   util::TextTable::num(de_inf - sh, 2), util::TextTable::num(de_30 - de_inf, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nnotes: GA-DE is exact only for tree-like ensembles; the heavy degree-2\n"
+                 "zigzag fraction of the low-rate IRA profiles makes GA pessimistic there\n"
+                 "(the simulated thresholds of E8 are the ground truth; mid/high rates\n"
+                 "agree to ~0.3 dB). The 30-iteration penalty column is the convergence\n"
+                 "cost the paper's Fig. 2b schedule halves relative to two-phase.\n";
+    std::cout << (sane ? "DE PASS: thresholds above Shannon, monotone in iterations\n"
+                       : "DE FAIL\n");
+    return sane ? 0 : 1;
+}

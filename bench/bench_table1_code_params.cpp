@@ -1,0 +1,50 @@
+// Experiment E1 — paper Table 1: "Parameters describing the DVB-S2 LDPC
+// Tanner graph for different coderates".
+//
+// Reproduces, for all 11 long-frame rates, the degree structure (number of
+// degree-j and degree-3 information nodes, check degree k, K, N−K) two ways:
+// from the closed-form parameter database and — independently — measured on
+// the constructed Tanner graph, flagging any disagreement.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "code/tanner.hpp"
+#include "code/validate.hpp"
+
+using namespace dvbs2;
+
+int main() {
+    bench::banner("E1 / Table 1", "Tanner-graph parameters per code rate");
+
+    util::TextTable t;
+    t.set_header({"Rate", "j", "N_j", "N_3", "k", "N-K", "K", "measured"});
+    bool all_ok = true;
+    for (auto rate : code::all_rates()) {
+        const auto p = code::standard_params(rate);
+        // Independent measurement from the expanded graph.
+        const code::Dvbs2Code c(p);
+        long long n_hi_meas = 0, n_lo_meas = 0;
+        for (int v = 0; v < c.k(); ++v) {
+            if (c.info_degree(v) == p.deg_hi)
+                ++n_hi_meas;
+            else if (c.info_degree(v) == p.deg_lo)
+                ++n_lo_meas;
+        }
+        const auto hist = code::check_degree_histogram(c);
+        const bool regular = hist[static_cast<std::size_t>(p.check_deg - 2)] == c.m();
+        const bool ok = n_hi_meas == p.n_hi && n_lo_meas == p.n_lo() && regular;
+        all_ok = all_ok && ok;
+        t.add_row({code::to_string(rate), util::TextTable::num((long long)p.deg_hi),
+                   util::TextTable::num((long long)p.n_hi),
+                   util::TextTable::num((long long)p.n_lo()),
+                   util::TextTable::num((long long)p.check_deg),
+                   util::TextTable::num((long long)p.m()), util::TextTable::num((long long)p.k),
+                   ok ? "ok" : "MISMATCH"});
+    }
+    t.print(std::cout);
+    std::cout << "\npaper reference row (R=1/2): j=8, N_j=12960, N_3=19440, k=7, N-K=32400, "
+                 "K=32400\n";
+    std::cout << (all_ok ? "E1 PASS: all rates match the closed-form database\n"
+                         : "E1 FAIL: see MISMATCH rows\n");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// BER/FER waterfall sweep — the workload behind the paper's communications-
+// performance claims (Sec. 1: "≈0.7 dB to Shannon", Sec. 2.1: quantization
+// loss). Prints one row per Eb/N0 point and the Shannon limit of the rate.
+//
+//   ./ber_sweep [--rate=1/2] [--from=0.6] [--to=1.6] [--step=0.2]
+//               [--frames=50] [--iters=30] [--fixed] [--bits=6]
+//               [--schedule=zigzag|twophase|map] [--csv=out.csv]
+#include <iostream>
+#include <memory>
+
+#include "util/csv.hpp"
+
+#include "code/params.hpp"
+#include "code/tanner.hpp"
+#include "comm/ber.hpp"
+#include "comm/capacity.hpp"
+#include "core/decoder.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace dvbs2;
+
+namespace {
+
+code::CodeRate parse_rate(const std::string& s) {
+    for (auto r : code::all_rates())
+        if (code::to_string(r) == s) return r;
+    throw std::runtime_error("unknown rate " + s);
+}
+
+core::Schedule parse_schedule(const std::string& s) {
+    if (s == "zigzag") return core::Schedule::ZigzagForward;
+    if (s == "twophase") return core::Schedule::TwoPhase;
+    if (s == "map") return core::Schedule::ZigzagMap;
+    throw std::runtime_error("unknown schedule " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const util::CliArgs args(
+        argc, argv,
+        {"rate", "from", "to", "step", "frames", "iters", "fixed", "bits", "schedule", "csv"});
+    const auto rate = parse_rate(args.get("rate", "1/2"));
+    const code::Dvbs2Code ldpc(code::standard_params(rate));
+
+    core::DecoderConfig cfg;
+    cfg.schedule = parse_schedule(args.get("schedule", "zigzag"));
+    cfg.max_iterations = static_cast<int>(args.get_int("iters", 30));
+
+    const bool fixed = args.has("fixed");
+    const int bits = static_cast<int>(args.get_int("bits", 6));
+    const quant::QuantSpec spec = bits == 5 ? quant::kQuant5 : quant::kQuant6;
+
+    core::Decoder float_dec(ldpc, cfg);
+    core::FixedDecoder fixed_dec(ldpc, cfg, spec);
+    comm::DecodeFn decode = [&](const std::vector<double>& llr) {
+        const auto r = fixed ? fixed_dec.decode(llr) : float_dec.decode(llr);
+        return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
+    };
+
+    comm::SimConfig sim;
+    sim.limits.max_frames = static_cast<std::uint64_t>(args.get_int("frames", 50));
+    sim.limits.target_frame_errors = 15;
+    sim.limits.target_bit_errors = 500;
+
+    std::vector<double> snrs;
+    const double from = args.get_double("from", 0.6), to = args.get_double("to", 1.6),
+                 step = args.get_double("step", 0.2);
+    for (double s = from; s <= to + 1e-9; s += step) snrs.push_back(s);
+
+    std::cout << ldpc.params().name << ", " << (fixed ? "fixed " + std::to_string(bits) + "-bit"
+                                                      : std::string("float"))
+              << ", " << core::to_string(cfg.schedule) << ", " << cfg.max_iterations
+              << " iterations\n";
+    std::cout << "Shannon limit (BPSK-constrained): "
+              << comm::shannon_limit_bpsk_db(ldpc.params().rate()) << " dB\n\n";
+
+    std::unique_ptr<util::CsvWriter> csv;
+    if (args.has("csv")) {
+        csv = std::make_unique<util::CsvWriter>(args.get("csv", "ber.csv"));
+        csv->write_row({"ebn0_db", "frames", "bit_errors", "frame_errors", "ber", "fer",
+                        "avg_iterations"});
+    }
+
+    util::TextTable table;
+    table.set_header({"Eb/N0 [dB]", "frames", "BER", "FER", "avg iters"});
+    for (double snr : snrs) {
+        const auto pt = comm::simulate_point(ldpc, decode, snr, sim);
+        std::ostringstream ber;
+        ber.precision(3);
+        ber << std::scientific << pt.ber(static_cast<std::uint64_t>(ldpc.k()));
+        table.add_row({util::TextTable::num(snr, 2), util::TextTable::num((long long)pt.frames),
+                       ber.str(), util::TextTable::num(pt.fer(), 3),
+                       util::TextTable::num(pt.avg_iterations, 1)});
+        if (csv)
+            csv->write_row({std::to_string(snr), std::to_string(pt.frames),
+                            std::to_string(pt.bit_errors), std::to_string(pt.frame_errors),
+                            ber.str(), std::to_string(pt.fer()),
+                            std::to_string(pt.avg_iterations)});
+    }
+    table.print(std::cout);
+    if (csv) std::cout << "(wrote " << args.get("csv", "") << ")\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+}

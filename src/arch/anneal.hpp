@@ -1,0 +1,43 @@
+// Simulated-annealing optimizer for the RAM addressing scheme (paper Sec. 4:
+// "We use simulated annealing to find the best addressing scheme to reduce
+// RAM access conflicts and hence to minimize the buffer overhead").
+//
+// Search space (both legal by construction):
+//   * the position of each table value inside its group's address range
+//     (which address a message occupies, hence which bank its writes hit),
+//   * the order in which each check node's messages are read (commutative
+//     combining, exploited by the paper).
+// Cost: peak conflict-buffer occupancy, with total buffer residency as a
+// tie-breaker so the search keeps moving on plateaus.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/conflict.hpp"
+#include "arch/mapping.hpp"
+
+namespace dvbs2::arch {
+
+/// Annealing hyper-parameters. Defaults converge in well under a second per
+/// code rate (the cost evaluation is a few hundred simulated cycles).
+struct AnnealConfig {
+    int iterations = 4000;
+    double initial_temperature = 4.0;
+    double cooling = 0.9985;       ///< geometric factor per move
+    std::uint64_t seed = 2024;
+    MemoryConfig memory;           ///< memory model to optimize against
+};
+
+/// Outcome of one optimization run.
+struct AnnealResult {
+    ConflictStats before;  ///< check-phase stats of the canonical mapping
+    ConflictStats after;   ///< check-phase stats of the optimized mapping
+    int moves_accepted = 0;
+    int moves_tried = 0;
+};
+
+/// Optimizes `mapping` in place; returns before/after statistics.
+/// Deterministic in cfg.seed.
+AnnealResult anneal_addressing(HardwareMapping& mapping, const AnnealConfig& cfg);
+
+}  // namespace dvbs2::arch

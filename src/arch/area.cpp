@@ -1,0 +1,126 @@
+#include "arch/area.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/shuffle.hpp"
+#include "util/error.hpp"
+
+namespace dvbs2::arch {
+
+namespace {
+
+// Gate-count building blocks (NAND2 equivalents, standard synthesis rules
+// of thumb for 0.13 µm standard-cell libraries).
+constexpr long long kFlopGates = 6;        // per storage bit
+constexpr long long kAdderGatesPerBit = 11;// ripple/carry-select average
+constexpr long long kMux2Gates = 4;        // 2:1 mux incl. buffering share
+constexpr long long kCorrLutGates = 250;   // boxplus correction ROM + add
+constexpr long long kFuControlGates = 400; // per-FU FSM, counters, flags
+constexpr long long kGlobalControlGates = 28000;  // sequencer, rate config,
+                                                  // address counters, I/O
+
+int ceil_log2(long long v) {
+    int b = 0;
+    while ((1LL << b) < v) ++b;
+    return b;
+}
+
+}  // namespace
+
+double AreaBreakdown::row(const std::string& name) const {
+    for (const auto& r : rows)
+        if (r.name == name) return r.mm2;
+    throw std::runtime_error("unknown area row: " + name);
+}
+
+long long functional_unit_gates(int max_vn_deg, int max_cn_deg, int width) {
+    DVBS2_REQUIRE(max_vn_deg >= 2 && max_cn_deg >= 3 && width >= 2, "bad FU dimensions");
+    // Serial functional unit (paper Sec. 3: one message in, one out per
+    // cycle), time-shared between variable- and check-node modes:
+    //  * incoming-message buffer: the serial extrinsic computation must hold
+    //    all messages of the node being processed (max_cn_deg dominates),
+    //  * prefix storage for the forward/backward combine,
+    //  * two combine units (boxplus with correction LUT; reused as compare/
+    //    select for min-sum),
+    //  * variable-node accumulator (width+4 bits) and the per-output
+    //    subtract-and-saturate stage,
+    //  * local control and mode multiplexing.
+    const long long msg_buffer = static_cast<long long>(max_cn_deg) * width * kFlopGates;
+    const long long prefix_store = static_cast<long long>(max_cn_deg) * width * kFlopGates;
+    const long long combine_units =
+        2 * (3LL * (width + 1) * kAdderGatesPerBit + kCorrLutGates);
+    const long long vn_accumulator = static_cast<long long>(width + 4) * kAdderGatesPerBit;
+    const long long vn_output = 2LL * (width + 4) * kAdderGatesPerBit;
+    const long long mode_mux = 10LL * width * kMux2Gates;
+    (void)max_vn_deg;  // VN degree ≤ CN degree for every DVB-S2 rate; the
+                       // buffer above already covers it.
+    return msg_buffer + prefix_store + combine_units + vn_accumulator + vn_output + mode_mux +
+           kFuControlGates;
+}
+
+AreaBreakdown area_model(const std::vector<code::CodeParams>& supported,
+                         const quant::QuantSpec& spec, const AreaConstants& constants) {
+    DVBS2_REQUIRE(!supported.empty(), "need at least one supported code");
+    const int p = supported.front().parallelism;
+    long long max_n = 0, max_e_in = 0, max_m = 0, max_addr = 0;
+    int max_vn_deg = 0, max_cn_deg = 0;
+    for (const auto& cp : supported) {
+        DVBS2_REQUIRE(cp.parallelism == p, "mixed parallelism in supported set");
+        max_n = std::max<long long>(max_n, cp.n);
+        max_e_in = std::max(max_e_in, cp.e_in());
+        max_m = std::max<long long>(max_m, cp.m());
+        max_addr = std::max(max_addr, cp.addr_words());
+        max_vn_deg = std::max(max_vn_deg, cp.deg_hi);
+        max_cn_deg = std::max(max_cn_deg, cp.check_deg);
+    }
+    const int w = spec.total_bits;
+    const double logic_um2 = constants.gate_um2 * constants.synthesis_overhead;
+
+    AreaBreakdown out;
+    auto add = [&](std::string name, double mm2, std::string sized_by) {
+        out.rows.push_back({std::move(name), mm2, std::move(sized_by)});
+        out.total_mm2 += mm2;
+    };
+
+    // Channel LLR RAMs: one quantized LLR per codeword bit.
+    const long long ch_bits = max_n * w;
+    add("channel LLR RAMs", ch_bits * constants.sram_um2_per_bit * 1e-6,
+        "N=64800 at " + std::to_string(w) + " bit");
+
+    // Message RAMs: IN edges (worst rate), PN backward messages E_PN/2 ≈ N−K
+    // (worst rate), plus the conflict write buffer.
+    const long long in_bits = max_e_in * w;
+    const long long pn_bits = max_m * w;
+    const long long buf_bits =
+        static_cast<long long>(constants.conflict_buffer_words) * p * w;
+    add("message RAMs", (in_bits + pn_bits + buf_bits) * constants.sram_um2_per_bit * 1e-6,
+        "E_IN(R=3/5), E_PN/2(R=1/4)");
+
+    // Address/shuffle storage: one (address, shift) word per check-phase
+    // cycle, sized for the largest table (R=3/5: 648 words); the paper's
+    // 0.075 mm² corresponds to this single-configuration store (tables for
+    // other rates are loaded at configuration time).
+    const int addr_bits = ceil_log2(max_addr) + ceil_log2(p);
+    add("address/shuffle RAM", max_addr * addr_bits * constants.sram_um2_per_bit * 1e-6,
+        std::to_string(max_addr) + " words x " + std::to_string(addr_bits) + " bit");
+
+    // Functional-unit logic: P serial processors sized by the worst-case
+    // degrees (R=2/3 info degree 13, R=9/10 check degree 30).
+    const long long fu_gates = functional_unit_gates(max_vn_deg, max_cn_deg + 2, w);
+    add("functional nodes", static_cast<double>(fu_gates) * p * logic_um2 * 1e-6,
+        "deg_hi=" + std::to_string(max_vn_deg) + ", check_deg=" + std::to_string(max_cn_deg));
+
+    // Global control.
+    add("control logic", static_cast<double>(kGlobalControlGates) * logic_um2 * 1e-6,
+        "sequencer + rate configuration");
+
+    // Shuffle network: logarithmic barrel shifter.
+    const auto net = shuffle_network_stats(p, w);
+    add("shuffling network", static_cast<double>(net.mux2_count) * kMux2Gates * logic_um2 * 1e-6,
+        std::to_string(net.stages) + " stages x " + std::to_string(p) + " lanes");
+
+    return out;
+}
+
+}  // namespace dvbs2::arch

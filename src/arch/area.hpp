@@ -1,0 +1,62 @@
+// Silicon area model for the decoder (paper Table 3, ST 0.13 µm CMOS).
+//
+// The paper's synthesis breakdown is reproduced from first principles:
+// every memory is sized by the worst-case rate that dimensions it (R=1/4
+// for the parity-message RAM, R=3/5 for the IN-message RAM, R=2/3 and
+// R=9/10 for the functional-unit degrees), converted to mm² with a
+// *single* pair of calibrated 0.13 µm densities:
+//
+//   * kSramArea  — µm² per single-port SRAM bit. Calibrated once against
+//     the paper's channel-RAM row (388 800 bits ↔ ~2.0 mm² ⇒ 5.3 µm²/bit;
+//     consistent with the message-RAM row at 5.4 µm²/bit).
+//   * kGateArea · kSynthesisOverhead — µm² per NAND2-equivalent gate
+//     including wiring/flexibility overhead; 3.6 µm² raw with a 2.0×
+//     overhead reproduces the shuffle-network and FU rows.
+//
+// Each row is *derived* (bit and gate counts from the code parameters and
+// datapath structure); only the two densities are fitted, so relative sizes
+// are a genuine model prediction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "code/params.hpp"
+#include "quant/fixed.hpp"
+
+namespace dvbs2::arch {
+
+/// Technology/calibration constants (0.13 µm, see header comment).
+struct AreaConstants {
+    double sram_um2_per_bit = 5.3;
+    double gate_um2 = 3.6;          ///< NAND2-equivalent cell area
+    double synthesis_overhead = 2.0;///< wiring / flexibility / DFT factor
+    int conflict_buffer_words = 32; ///< P-lane words of write buffer
+};
+
+/// One row of the Table-3 reproduction.
+struct AreaRow {
+    std::string name;
+    double mm2 = 0.0;
+    std::string sized_by;  ///< which rate/parameter dimensions this block
+};
+
+struct AreaBreakdown {
+    std::vector<AreaRow> rows;
+    double total_mm2 = 0.0;
+
+    double row(const std::string& name) const;
+};
+
+/// Computes the breakdown for a decoder supporting all codes in `supported`
+/// (the paper: all 11 long-frame rates), with message/channel quantization
+/// `spec` (the paper: 6 bits) and P parallel functional units.
+AreaBreakdown area_model(const std::vector<code::CodeParams>& supported,
+                         const quant::QuantSpec& spec, const AreaConstants& constants = {});
+
+/// Gate count estimate of one functional unit (exposed for tests/ablation):
+/// serial variable/check node processor for maximum info degree `max_vn_deg`
+/// and maximum check degree `max_cn_deg` at message width `width` bits.
+long long functional_unit_gates(int max_vn_deg, int max_cn_deg, int width);
+
+}  // namespace dvbs2::arch

@@ -1,0 +1,53 @@
+// Architecture baselines the paper argues against (Sec. 1).
+//
+//  * Fully parallel decoding (Blanksby & Howland, the paper's [4]): every
+//    node instantiated, every Tanner-graph edge hardwired. Worked for a
+//    1024-bit code ("but even for this relatively short block length severe
+//    routing congestion problems exist"); this model quantifies why it is
+//    infeasible at N = 64800: logic for N + (N−K) node processors plus
+//    E dedicated wire pairs whose routing area grows superlinearly with the
+//    cut width.
+//
+// The partly-parallel figures come from the Table-3 model; the comparison
+// bench (bench_baseline_parallel) prints both.
+#pragma once
+
+#include "arch/area.hpp"
+#include "code/params.hpp"
+#include "quant/fixed.hpp"
+
+namespace dvbs2::arch {
+
+/// Sizing of a hypothetical fully parallel decoder for one code.
+struct FullyParallelEstimate {
+    long long vn_gates = 0;        ///< all variable-node processors
+    long long cn_gates = 0;        ///< all check-node processors
+    long long wires = 0;           ///< hardwired message nets (2 per edge)
+    double logic_mm2 = 0.0;
+    double routing_mm2 = 0.0;      ///< congestion-scaled wiring estimate
+    double total_mm2 = 0.0;
+    /// Throughput: one iteration per cycle pair, whole codeword per decode.
+    double info_throughput_bps = 0.0;
+};
+
+/// Routing/technology knobs. The congestion exponent models the
+/// superlinear growth of wiring area with the bisection cut: Rent-style
+/// area ≈ wires^exponent · pitch² (exponent 1 would be ideal spreading;
+/// Blanksby/Howland report the interconnect already dominating at 1024).
+struct FullyParallelConstants {
+    double gate_um2 = 3.6;
+    double synthesis_overhead = 2.0;
+    double wire_pitch_um = 0.6;       ///< routed track pitch incl. spacing
+    double avg_wire_mm = 0.0;         ///< 0 → derived from die edge estimate
+    double congestion_exponent = 1.25;
+    double clock_hz = 100e6;          ///< fully parallel designs clock slower
+    int iterations = 30;
+};
+
+/// Estimates the fully parallel realization of `params` with message width
+/// from `spec` (uses the same per-node gate models as the Table-3 FU).
+FullyParallelEstimate fully_parallel_estimate(const code::CodeParams& params,
+                                              const quant::QuantSpec& spec,
+                                              const FullyParallelConstants& constants = {});
+
+}  // namespace dvbs2::arch

@@ -1,0 +1,118 @@
+#include "arch/conflict.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace dvbs2::arch {
+
+ConflictStats simulate_phase(const PhaseSchedule& sched, const MemoryConfig& cfg) {
+    DVBS2_REQUIRE(cfg.num_banks >= 2, "need at least two banks");
+    DVBS2_REQUIRE(sched.ready_at.size() >= sched.read_addr.size(),
+                  "ready_at must cover all read cycles");
+
+    ConflictStats stats;
+    stats.read_cycles = static_cast<int>(sched.read_addr.size());
+
+    std::deque<int> buffer;  // pending write addresses, FIFO order
+    std::size_t cycle = 0;
+    auto bank_of = [&](int addr) { return addr % cfg.num_banks; };
+
+    auto step = [&](bool has_read, int read_bank) {
+        // Enqueue writes that became ready this cycle.
+        if (cycle < sched.ready_at.size())
+            for (int a : sched.ready_at[cycle]) buffer.push_back(a);
+        if (static_cast<int>(buffer.size()) > stats.peak_buffer)
+            stats.peak_buffer = static_cast<int>(buffer.size());
+
+        // Issue up to max_writes_per_cycle writes to banks that are free
+        // (not the read bank, not already written this cycle). FIFO with
+        // lookahead: scan from the head, take the first eligible entries —
+        // hardware realizes this with a small CAM over the buffer.
+        int issued = 0;
+        std::vector<char> bank_busy(static_cast<std::size_t>(cfg.num_banks), 0);
+        if (has_read) bank_busy[static_cast<std::size_t>(read_bank)] = 1;
+        for (auto it = buffer.begin(); it != buffer.end() && issued < cfg.max_writes_per_cycle;) {
+            const int b = bank_of(*it);
+            if (!bank_busy[static_cast<std::size_t>(b)]) {
+                bank_busy[static_cast<std::size_t>(b)] = 1;
+                it = buffer.erase(it);
+                ++issued;
+            } else {
+                ++stats.blocked_write_events;
+                ++it;
+            }
+        }
+        stats.buffer_word_cycles += static_cast<long long>(buffer.size());
+        ++cycle;
+    };
+
+    for (std::size_t t = 0; t < sched.read_addr.size(); ++t)
+        step(/*has_read=*/true, bank_of(sched.read_addr[t]));
+    // Remaining ready events (latency tail) and buffer drain: no reads, all
+    // banks available for writes.
+    while (cycle < sched.ready_at.size() || !buffer.empty()) step(/*has_read=*/false, 0);
+
+    stats.total_cycles = static_cast<int>(cycle);
+    return stats;
+}
+
+PhaseSchedule make_check_phase_schedule(const HardwareMapping& mapping, const MemoryConfig& cfg) {
+    const auto& slots = mapping.slots();
+    const int kc = mapping.slots_per_cn();
+    PhaseSchedule sched;
+    sched.read_addr.reserve(slots.size());
+    for (const auto& s : slots) sched.read_addr.push_back(s.addr);
+
+    // A serial functional unit "produces at most one updated message per
+    // clock cycle" (paper Sec. 3): the kc write-backs of local CN r emerge
+    // one per cycle, starting pipeline_latency cycles after its last read
+    // (slot (r+1)·kc − 1).
+    const int q = mapping.code().params().q;
+    const std::size_t horizon =
+        slots.size() + static_cast<std::size_t>(cfg.pipeline_latency + kc) + 1;
+    sched.ready_at.assign(horizon, {});
+    for (int r = 0; r < q; ++r) {
+        const std::size_t first_ready =
+            static_cast<std::size_t>((r + 1) * kc - 1 + cfg.pipeline_latency);
+        for (int t = 0; t < kc; ++t)
+            sched.ready_at[first_ready + static_cast<std::size_t>(t)].push_back(
+                slots[static_cast<std::size_t>(r * kc + t)].addr);
+    }
+    return sched;
+}
+
+PhaseSchedule make_variable_phase_schedule(const HardwareMapping& mapping,
+                                           const MemoryConfig& cfg) {
+    const auto& code = mapping.code();
+    const auto& cp = code.params();
+    PhaseSchedule sched;
+    const int words = mapping.ram_words();
+    sched.read_addr.reserve(static_cast<std::size_t>(words));
+    for (int a = 0; a < words; ++a) sched.read_addr.push_back(a);
+
+    const std::size_t horizon =
+        static_cast<std::size_t>(words + cfg.pipeline_latency + cp.deg_hi + 1);
+    sched.ready_at.assign(horizon, {});
+    // Node group g's messages live at row_base[g] .. row_base[g]+deg−1 and
+    // are all read by cycle row_base[g]+deg−1; the updated messages emerge
+    // from the serial FU one per cycle and go back to the same addresses.
+    for (int g = 0; g < cp.groups(); ++g) {
+        const int base = mapping.row_base(g);
+        const int deg = g < cp.groups_hi() ? cp.deg_hi : cp.deg_lo;
+        const std::size_t first_ready =
+            static_cast<std::size_t>(base + deg - 1 + cfg.pipeline_latency);
+        for (int l = 0; l < deg; ++l)
+            sched.ready_at[first_ready + static_cast<std::size_t>(l)].push_back(base + l);
+    }
+    return sched;
+}
+
+IterationStats simulate_iteration(const HardwareMapping& mapping, const MemoryConfig& cfg) {
+    IterationStats st;
+    st.variable_phase = simulate_phase(make_variable_phase_schedule(mapping, cfg), cfg);
+    st.check_phase = simulate_phase(make_check_phase_schedule(mapping, cfg), cfg);
+    return st;
+}
+
+}  // namespace dvbs2::arch

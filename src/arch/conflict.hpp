@@ -1,0 +1,75 @@
+// Single-port RAM partition and write-conflict model (paper Sec. 4, Fig. 5).
+//
+// The IN message memory is one P-lane-wide word per address, partitioned
+// into `num_banks` single-port RAMs by the low address bits. Every cycle the
+// decoder reads one word (the port of that bank is consumed) and may write
+// back at most `max_writes_per_cycle` words to *other*, mutually distinct
+// banks. Updated words that cannot be written immediately wait in a FIFO
+// buffer — the paper minimizes this buffer with simulated annealing and
+// reports that a single small buffer suffices for all code rates.
+#pragma once
+
+#include <vector>
+
+#include "arch/mapping.hpp"
+
+namespace dvbs2::arch {
+
+/// Hardware parameters of the memory subsystem.
+struct MemoryConfig {
+    int num_banks = 4;             ///< partitions (2 LSBs of the address)
+    int max_writes_per_cycle = 2;  ///< write ports across the other banks
+    int pipeline_latency = 4;      ///< cycles from last read of a node to its
+                                   ///< write-back data being ready
+};
+
+/// One phase's memory traffic: reads happen one per cycle in order; writes
+/// become ready in groups (one group per completed node) and drain through
+/// the buffer.
+struct PhaseSchedule {
+    std::vector<int> read_addr;                 ///< cycle t reads read_addr[t]
+    std::vector<std::vector<int>> ready_at;     ///< per cycle, write addresses
+                                                ///< becoming ready (size ≥ reads;
+                                                ///< trailing cycles = epilogue)
+};
+
+/// Result of simulating one phase.
+struct ConflictStats {
+    int read_cycles = 0;       ///< cycles with a read
+    int total_cycles = 0;      ///< reads + drain epilogue
+    int peak_buffer = 0;       ///< maximum FIFO occupancy (words)
+    long long buffer_word_cycles = 0;  ///< total residency (pressure metric)
+    long long blocked_write_events = 0;  ///< write attempts deferred by bank conflicts
+};
+
+/// Simulates the phase cycle by cycle.
+ConflictStats simulate_phase(const PhaseSchedule& sched, const MemoryConfig& cfg);
+
+/// Builds the check-phase schedule from a mapping: reads follow the ROM slot
+/// order; the k−2 write-backs of each local CN become ready
+/// `cfg.pipeline_latency` cycles after its last read.
+PhaseSchedule make_check_phase_schedule(const HardwareMapping& mapping, const MemoryConfig& cfg);
+
+/// Builds the variable-phase schedule: reads sweep addresses 0..W−1; a
+/// node-group's write-backs (its row's addresses) become ready after its last
+/// message was read.
+PhaseSchedule make_variable_phase_schedule(const HardwareMapping& mapping,
+                                           const MemoryConfig& cfg);
+
+/// Convenience: both phases of one iteration simulated with `cfg`.
+struct IterationStats {
+    ConflictStats variable_phase;
+    ConflictStats check_phase;
+    int cycles_per_iteration() const {
+        return variable_phase.total_cycles + check_phase.total_cycles;
+    }
+    int peak_buffer() const {
+        return variable_phase.peak_buffer > check_phase.peak_buffer
+                   ? variable_phase.peak_buffer
+                   : check_phase.peak_buffer;
+    }
+};
+
+IterationStats simulate_iteration(const HardwareMapping& mapping, const MemoryConfig& cfg);
+
+}  // namespace dvbs2::arch

@@ -1,0 +1,48 @@
+#include "arch/energy.hpp"
+
+namespace dvbs2::arch {
+
+EnergyReport energy_model(const HardwareMapping& mapping, const quant::QuantSpec& spec,
+                          int iterations, const EnergyConstants& constants) {
+    const auto& cp = mapping.code().params();
+    const double w = spec.total_bits;
+    const double p = cp.parallelism;
+    const double it = iterations;
+
+    EnergyReport rep;
+
+    // Memory traffic per iteration:
+    //  * IN message RAM: each of the E_IN/P words (P lanes wide) is read
+    //    once and written once in each phase → 4 accesses per word per
+    //    iteration (VN read+write, CN read+write);
+    //  * PN message RAM: E_PN/2 backward messages read+written per CN phase;
+    //  * channel RAMs: every IN message read needs its channel value once
+    //    per phase (K values) and every CN needs the two parity channel
+    //    values (≈2·M per iteration).
+    const double in_ram_bits = 4.0 * static_cast<double>(cp.addr_words()) * p * w;
+    const double pn_ram_bits = 2.0 * static_cast<double>(cp.m()) * w;
+    const double ch_ram_bits = (static_cast<double>(cp.k) + 2.0 * cp.m()) * w;
+    rep.memory_nj = it * (in_ram_bits + pn_ram_bits + ch_ram_bits) *
+                    constants.sram_pj_per_bit_access * 1e-3;
+
+    // Functional-unit work: every edge message is processed once per phase
+    // (VN serial sum + CN serial combine), plus the zigzag messages.
+    const double messages =
+        2.0 * static_cast<double>(cp.e_in()) + 2.0 * static_cast<double>(cp.m());
+    rep.logic_nj = it * messages * constants.fu_pj_per_message * 1e-3;
+
+    // Shuffle network: the CN phase moves each IN word through the shifter
+    // twice (read-aligned and write-back).
+    const double net_bits = 2.0 * static_cast<double>(cp.addr_words()) * p * w;
+    rep.network_nj = it * net_bits * constants.shuffle_pj_per_bit * 1e-3;
+
+    // Leakage over the block's decode time (Eq. 8 cycles).
+    const auto iter_stats = simulate_iteration(mapping, MemoryConfig{});
+    const double cycles = it * iter_stats.cycles_per_iteration();
+    rep.leakage_nj = constants.leakage_mw * 1e-3 * (cycles / constants.clock_hz) * 1e9;
+
+    rep.nj_per_info_bit = rep.total_nj() / static_cast<double>(cp.k);
+    return rep;
+}
+
+}  // namespace dvbs2::arch

@@ -1,0 +1,45 @@
+// Activity-based energy model of the decoder.
+//
+// A companion estimate to the Table-3 area model (the authors' follow-up
+// work analyzed channel-decoder energy; the DATE'05 paper itself reports
+// area/throughput only, so this module is an *extension*, not a
+// reproduction target). Energy per decoded block is counted from switching
+// activity: every memory access (word width × access energy per bit) and
+// every functional-unit message operation, at calibrated 0.13 µm energies.
+// Absolute joules are order-of-magnitude; the value of the model is the
+// *split* (memory vs. logic vs. network) and the per-rate/per-iteration
+// scaling, which are structure-determined.
+#pragma once
+
+#include "arch/conflict.hpp"
+#include "arch/mapping.hpp"
+#include "quant/fixed.hpp"
+
+namespace dvbs2::arch {
+
+/// Calibrated 0.13 µm access/operation energies.
+struct EnergyConstants {
+    double sram_pj_per_bit_access = 0.45;  ///< single-port SRAM read or write
+    double fu_pj_per_message = 6.0;        ///< one serial message through a FU
+    double shuffle_pj_per_bit = 0.08;      ///< one bit through the barrel shifter
+    double leakage_mw = 35.0;              ///< static power of the whole core
+    double clock_hz = 270e6;
+};
+
+/// Per-block energy split.
+struct EnergyReport {
+    double memory_nj = 0.0;
+    double logic_nj = 0.0;
+    double network_nj = 0.0;
+    double leakage_nj = 0.0;
+    double total_nj() const { return memory_nj + logic_nj + network_nj + leakage_nj; }
+    /// Energy efficiency in nJ per decoded information bit.
+    double nj_per_info_bit = 0.0;
+};
+
+/// Estimates the energy to decode one block at `iterations` iterations with
+/// message width from `spec`.
+EnergyReport energy_model(const HardwareMapping& mapping, const quant::QuantSpec& spec,
+                          int iterations, const EnergyConstants& constants = {});
+
+}  // namespace dvbs2::arch

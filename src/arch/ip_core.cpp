@@ -1,0 +1,68 @@
+#include "arch/ip_core.hpp"
+
+#include "util/error.hpp"
+
+namespace dvbs2::arch {
+
+Dvbs2DecoderIp::Dvbs2DecoderIp(IpCoreConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::vector<code::CodeRate> Dvbs2DecoderIp::supported_rates() const {
+    return code::rates_for(cfg_.frame);
+}
+
+RateContext& Dvbs2DecoderIp::get_or_build(code::CodeRate rate) {
+    auto it = contexts_.find(rate);
+    if (it != contexts_.end()) return it->second;
+
+    DVBS2_REQUIRE(!(cfg_.frame == code::FrameSize::Short && rate == code::CodeRate::R9_10),
+                  "rate 9/10 is not defined for short frames");
+    RateContext ctx;
+    ctx.code = std::make_unique<code::Dvbs2Code>(code::standard_params(rate, cfg_.frame));
+    ctx.mapping = std::make_unique<HardwareMapping>(*ctx.code);
+    if (cfg_.anneal) {
+        AnnealConfig acfg;
+        acfg.iterations = cfg_.anneal_iterations;
+        acfg.memory = cfg_.rtl.memory;
+        ctx.check_phase_stats = anneal_addressing(*ctx.mapping, acfg).after;
+    } else {
+        ctx.check_phase_stats = simulate_phase(
+            make_check_phase_schedule(*ctx.mapping, cfg_.rtl.memory), cfg_.rtl.memory);
+    }
+    ctx.decoder = std::make_unique<RtlDecoder>(*ctx.code, *ctx.mapping, cfg_.rtl);
+    return contexts_.emplace(rate, std::move(ctx)).first->second;
+}
+
+const RateContext& Dvbs2DecoderIp::context(code::CodeRate rate) { return get_or_build(rate); }
+
+core::DecodeResult Dvbs2DecoderIp::decode(code::CodeRate rate, const std::vector<double>& llr) {
+    return get_or_build(rate).decoder->decode(llr);
+}
+
+core::DecodeResult Dvbs2DecoderIp::decode_raw(code::CodeRate rate,
+                                              const std::vector<quant::QLLR>& ch) {
+    return get_or_build(rate).decoder->decode_raw(ch);
+}
+
+ThroughputReport Dvbs2DecoderIp::throughput_of(code::CodeRate rate) const {
+    ThroughputConfig tcfg = cfg_.throughput;
+    tcfg.iterations = cfg_.rtl.decoder.max_iterations;
+    return throughput(code::standard_params(rate, cfg_.frame), tcfg);
+}
+
+int Dvbs2DecoderIp::required_buffer_words() const {
+    int worst = 0;
+    for (const auto& [rate, ctx] : contexts_) {
+        (void)rate;
+        worst = std::max(worst, ctx.check_phase_stats.peak_buffer);
+    }
+    return worst;
+}
+
+AreaBreakdown Dvbs2DecoderIp::area() const {
+    std::vector<code::CodeParams> supported;
+    for (auto rate : code::rates_for(cfg_.frame))
+        supported.push_back(code::standard_params(rate, cfg_.frame));
+    return area_model(supported, cfg_.rtl.spec);
+}
+
+}  // namespace dvbs2::arch

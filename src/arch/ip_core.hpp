@@ -1,0 +1,81 @@
+// The multi-rate decoder IP — the paper's headline deliverable: "the first
+// IP core capable to process all specified code rates in the DVB-S2
+// standard".
+//
+// Wraps one decoder instance per rate behind a single run-time-switchable
+// facade, the way the silicon works: the functional units, shuffle network
+// and memories are shared (sized by the worst-case rate, see the area
+// model); switching rate loads a different address/shuffle configuration.
+// Construction of per-rate structures (code expansion, mapping, optional
+// annealing) is lazy and cached, mirroring the configuration-download step.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/anneal.hpp"
+#include "arch/area.hpp"
+#include "arch/mapping.hpp"
+#include "arch/rtl_model.hpp"
+#include "arch/throughput.hpp"
+#include "code/params.hpp"
+
+namespace dvbs2::arch {
+
+/// Configuration of the IP instance.
+struct IpCoreConfig {
+    code::FrameSize frame = code::FrameSize::Long;
+    RtlConfig rtl;             ///< datapath (rule, iterations, quantization)
+    bool anneal = true;        ///< optimize each rate's addressing on first use
+    int anneal_iterations = 1500;
+    ThroughputConfig throughput;  ///< clock/IO operating point
+};
+
+/// One configured "rate slot" of the IP (exposed for inspection).
+struct RateContext {
+    std::unique_ptr<code::Dvbs2Code> code;
+    std::unique_ptr<HardwareMapping> mapping;
+    std::unique_ptr<RtlDecoder> decoder;
+    ConflictStats check_phase_stats;  ///< after optional annealing
+};
+
+/// The decoder IP. Thread-compatible (external synchronization); per-rate
+/// contexts are built on first use and cached for the lifetime of the core.
+class Dvbs2DecoderIp {
+public:
+    explicit Dvbs2DecoderIp(IpCoreConfig cfg = {});
+
+    /// Rates this instance supports (all standard rates of the frame size).
+    std::vector<code::CodeRate> supported_rates() const;
+
+    /// Decodes one frame at `rate` from float channel LLRs (quantized by
+    /// the input stage, like the silicon's channel interface).
+    core::DecodeResult decode(code::CodeRate rate, const std::vector<double>& llr);
+
+    /// Decodes from pre-quantized channel values.
+    core::DecodeResult decode_raw(code::CodeRate rate, const std::vector<quant::QLLR>& ch);
+
+    /// Access the cached context of a rate (builds it if needed).
+    const RateContext& context(code::CodeRate rate);
+
+    /// Eq. 8 throughput of a rate at this instance's operating point.
+    ThroughputReport throughput_of(code::CodeRate rate) const;
+
+    /// Worst-case conflict-buffer words across all *configured* rates — the
+    /// single shared buffer the silicon must provision.
+    int required_buffer_words() const;
+
+    /// Area of the full multi-rate instance (Table-3 model).
+    AreaBreakdown area() const;
+
+    const IpCoreConfig& config() const noexcept { return cfg_; }
+
+private:
+    RateContext& get_or_build(code::CodeRate rate);
+
+    IpCoreConfig cfg_;
+    std::map<code::CodeRate, RateContext> contexts_;
+};
+
+}  // namespace dvbs2::arch

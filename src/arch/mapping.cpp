@@ -1,0 +1,122 @@
+#include "arch/mapping.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvbs2::arch {
+
+HardwareMapping::HardwareMapping(const code::Dvbs2Code& code) : code_(&code) {
+    const auto& cp = code.params();
+    rows_ = code.tables().rows;
+
+    row_base_.resize(rows_.size());
+    int base = 0;
+    for (std::size_t g = 0; g < rows_.size(); ++g) {
+        row_base_[g] = base;
+        base += static_cast<int>(rows_[g].size());
+    }
+    DVBS2_REQUIRE(base == cp.addr_words(), "address layout size mismatch");
+
+    // Canonical slot schedule: ascending local CN index (residue), entries
+    // in (group, position) scan order within each run.
+    const int q = cp.q;
+    slots_.reserve(static_cast<std::size_t>(base));
+    for (int r = 0; r < q; ++r) {
+        for (std::size_t g = 0; g < rows_.size(); ++g) {
+            for (std::size_t l = 0; l < rows_[g].size(); ++l) {
+                const auto x = static_cast<int>(rows_[g][l]);
+                if (x % q != r) continue;
+                RomSlot s;
+                s.group = static_cast<int>(g);
+                s.entry = static_cast<int>(l);
+                s.addr = row_base_[g] + static_cast<int>(l);
+                s.shift = x / q;
+                s.local_cn = r;
+                slots_.push_back(s);
+            }
+        }
+        DVBS2_REQUIRE(static_cast<int>(slots_.size()) == (r + 1) * slots_per_cn(),
+                      "residue run " + std::to_string(r) + " is not check-regular");
+    }
+}
+
+int HardwareMapping::fu_load() const noexcept {
+    return code_->params().q * slots_per_cn();
+}
+
+void HardwareMapping::swap_row_entries(int g, int a, int b) {
+    if (a == b) return;
+    auto& row = rows_[static_cast<std::size_t>(g)];
+    DVBS2_ASSERT(a >= 0 && b >= 0 && a < static_cast<int>(row.size()) &&
+                 b < static_cast<int>(row.size()));
+    std::swap(row[static_cast<std::size_t>(a)], row[static_cast<std::size_t>(b)]);
+    // Patch the two affected slots: x values swap addresses; residues,
+    // shifts and run positions are untouched.
+    RomSlot* sa = nullptr;
+    RomSlot* sb = nullptr;
+    for (auto& s : slots_) {
+        if (s.group != g) continue;
+        if (s.entry == a) sa = &s;
+        if (s.entry == b) sb = &s;
+    }
+    DVBS2_REQUIRE(sa != nullptr && sb != nullptr, "slot lookup failed in swap_row_entries");
+    std::swap(sa->entry, sb->entry);
+    std::swap(sa->addr, sb->addr);
+}
+
+void HardwareMapping::swap_slots_in_run(int r, int a, int b) {
+    const int kc = slots_per_cn();
+    DVBS2_ASSERT(a >= 0 && a < kc && b >= 0 && b < kc);
+    std::swap(slots_[static_cast<std::size_t>(r * kc + a)],
+              slots_[static_cast<std::size_t>(r * kc + b)]);
+}
+
+int HardwareMapping::variable_of(const RomSlot& slot, int f) const {
+    const int p = code_->params().parallelism;
+    const int i = ((f - slot.shift) % p + p) % p;
+    return slot.group * p + i;
+}
+
+long long HardwareMapping::edge_of(const RomSlot& slot, int f) const {
+    const int kc = slots_per_cn();
+    const int c = code_->params().q * f + slot.local_cn;
+    const int v = variable_of(slot, f);
+    // CN c's slots hold variables in ascending order: binary search for v.
+    long long lo = static_cast<long long>(c) * kc;
+    long long hi = lo + kc;
+    while (lo < hi) {
+        const long long mid = (lo + hi) / 2;
+        if (code_->edge_variable(mid) < v)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    DVBS2_REQUIRE(lo < static_cast<long long>(c + 1) * kc && code_->edge_variable(lo) == v,
+                  "edge lookup failed: graph/mapping inconsistency");
+    return lo;
+}
+
+std::vector<int> HardwareMapping::extract_cn_order() const {
+    const auto& cp = code_->params();
+    const int kc = slots_per_cn();
+    const int p = cp.parallelism;
+    const int q = cp.q;
+    std::vector<int> order(static_cast<std::size_t>(cp.e_in()), -1);
+    for (int r = 0; r < q; ++r) {
+        for (int pos = 0; pos < kc; ++pos) {
+            const RomSlot& s = slots_[static_cast<std::size_t>(r * kc + pos)];
+            for (int f = 0; f < p; ++f) {
+                const int c = q * f + r;
+                const long long e = edge_of(s, f);
+                const int canonical = static_cast<int>(e - static_cast<long long>(c) * kc);
+                order[static_cast<std::size_t>(c) * kc + static_cast<std::size_t>(pos)] =
+                    canonical;
+            }
+        }
+    }
+    for (int v : order) DVBS2_REQUIRE(v >= 0, "incomplete cn order extraction");
+    return order;
+}
+
+}  // namespace dvbs2::arch

@@ -1,0 +1,102 @@
+// Hardware mapping of the Tanner graph onto P functional units (paper
+// Sec. 3, Fig. 3).
+//
+// Information nodes: node g·P + i → FU i; the messages (edges) of group g
+// occupy one RAM address per table entry, the same address in all P lane
+// RAMs: address row_base[g] + l for entry l. Lane i of that address holds
+// the message of information node (g, i).
+//
+// Check nodes: CN c → FU ⌊c/q⌋ at local index c mod q. Because a table
+// entry x = r + q·s connects lane i to CN r + q·((s+i) mod P), the edge for
+// *every* FU f sits in lane (f − s) mod P of the common address: one cyclic
+// shift by s aligns the whole word, and the local CN index is the residue r
+// for all lanes. The check-node phase therefore reads one (address, shift)
+// pair per cycle — these pairs are the address/shuffle ROM of paper Table 2
+// ("Addr" column, E_IN/360 words).
+//
+// Check-regularity of the code (each residue class holds exactly
+// check_deg−2 entries) means the slot schedule is q runs of check_deg−2
+// slots, one run per local CN index, processed in ascending residue order —
+// which is exactly the sequential CN order the zigzag schedule needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "code/tanner.hpp"
+
+namespace dvbs2::arch {
+
+/// One word of the address/shuffle ROM: what the decoder does in one
+/// check-phase read cycle.
+struct RomSlot {
+    int group = 0;     ///< table row g of the entry served
+    int entry = 0;     ///< position l within the row (RAM address offset)
+    int addr = 0;      ///< IN-message RAM address (row_base[g] + l)
+    int shift = 0;     ///< cyclic shift s = ⌊x/q⌋ applied by the network
+    int local_cn = 0;  ///< local check index r = x mod q (same for all FUs)
+};
+
+/// The complete node/message-to-hardware mapping for one code.
+class HardwareMapping {
+public:
+    /// Builds the canonical mapping (entries in table order within rows and
+    /// within residue runs). The code must outlive the mapping.
+    explicit HardwareMapping(const code::Dvbs2Code& code);
+
+    const code::Dvbs2Code& code() const noexcept { return *code_; }
+
+    /// Total IN-message RAM words (= E_IN / P = Table 2 "Addr").
+    int ram_words() const noexcept { return static_cast<int>(slots_.size()); }
+
+    /// RAM base address of group g's messages.
+    int row_base(int g) const noexcept { return row_base_[static_cast<std::size_t>(g)]; }
+
+    /// The check-phase ROM: ram_words() slots, grouped in runs of
+    /// check_deg−2 per local CN index, ascending local index.
+    const std::vector<RomSlot>& slots() const noexcept { return slots_; }
+
+    /// Slots of local CN r occupy positions [r·kc, (r+1)·kc).
+    int slots_per_cn() const noexcept { return code_->check_in_degree(); }
+
+    /// Edges per FU per check phase = q·(check_deg−2); Eq. 6 guarantees this
+    /// equals ram_words().
+    int fu_load() const noexcept;
+
+    // --- mutation hooks for the simulated-annealing optimizer ---
+
+    /// Swaps entries a and b of row g (changes the RAM addresses of the two
+    /// affected slots). Both indices must be < row degree.
+    void swap_row_entries(int g, int a, int b);
+
+    /// Swaps two slot positions within the run of local CN r (changes the
+    /// order in which that CN's messages are read — legal because check-node
+    /// combining is commutative, which the paper exploits for scheduling).
+    void swap_slots_in_run(int r, int a, int b);
+
+    /// Extracts the per-check-node information-edge processing order induced
+    /// by the slot schedule, in the format MpDecoder::set_cn_order expects
+    /// (E_IN entries; per CN a permutation of its canonical slot indices).
+    /// This is what makes the reference fixed-point decoder bit-exact with
+    /// the cycle-driven architecture model.
+    std::vector<int> extract_cn_order() const;
+
+    /// Graph edge id (check-major) served by slot t for functional unit f.
+    long long edge_of(const RomSlot& slot, int f) const;
+
+    /// Variable (information bit) whose message slot t carries in lane f
+    /// *after* the shift, i.e. the bit feeding FU f's check node.
+    int variable_of(const RomSlot& slot, int f) const;
+
+private:
+    void rebuild_slot_addresses();
+
+    const code::Dvbs2Code* code_;
+    std::vector<int> row_base_;
+    // rows_[g][l] = table value x at RAM offset l of group g (may be a
+    // permutation of the canonical sorted row after SA moves).
+    std::vector<std::vector<std::uint32_t>> rows_;
+    std::vector<RomSlot> slots_;
+};
+
+}  // namespace dvbs2::arch

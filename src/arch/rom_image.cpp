@@ -1,0 +1,64 @@
+#include "arch/rom_image.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dvbs2::arch {
+
+namespace {
+
+int ceil_log2(int v) {
+    int b = 0;
+    while ((1 << b) < v) ++b;
+    return b;
+}
+
+}  // namespace
+
+RomImage build_rom_image(const HardwareMapping& mapping) {
+    RomImage img;
+    img.addr_bits = ceil_log2(mapping.ram_words());
+    img.shift_bits = ceil_log2(mapping.code().params().parallelism);
+    DVBS2_REQUIRE(img.bits_per_word() <= 32, "ROM word exceeds 32 bits");
+    const int kc = mapping.slots_per_cn();
+    img.words.reserve(mapping.slots().size());
+    for (std::size_t t = 0; t < mapping.slots().size(); ++t) {
+        const RomSlot& s = mapping.slots()[t];
+        const bool last = (static_cast<int>(t) % kc) == kc - 1;
+        std::uint32_t w = static_cast<std::uint32_t>(s.addr);
+        w |= static_cast<std::uint32_t>(s.shift) << img.addr_bits;
+        if (last) w |= 1u << (img.addr_bits + img.shift_bits);
+        img.words.push_back(w);
+    }
+    return img;
+}
+
+bool verify_rom_image(const RomImage& image, const HardwareMapping& mapping) {
+    if (image.words.size() != mapping.slots().size()) return false;
+    const int kc = mapping.slots_per_cn();
+    for (std::size_t t = 0; t < image.words.size(); ++t) {
+        const std::uint32_t w = image.words[t];
+        const RomSlot& s = mapping.slots()[t];
+        if (image.addr_of(w) != s.addr) return false;
+        if (image.shift_of(w) != s.shift % mapping.code().params().parallelism) return false;
+        if (image.last_of(w) != ((static_cast<int>(t) % kc) == kc - 1)) return false;
+    }
+    return true;
+}
+
+std::string to_hex(const RomImage& image) {
+    std::ostringstream os;
+    os << std::hex;
+    const int digits = (image.bits_per_word() + 3) / 4;
+    for (std::uint32_t w : image.words) {
+        std::string h;
+        for (int d = 0; d < digits; ++d) {
+            h = "0123456789abcdef"[(w >> (4 * d)) & 0xF] + h;
+        }
+        os << h << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace dvbs2::arch

@@ -1,0 +1,57 @@
+// Address/shuffle configuration image — the deliverable a hardware
+// integrator loads into the IP's configuration RAM for one code rate
+// (paper Sec. 4: "The address and shuffling RAM together with the shuffling
+// network provides the connectivity of the Tanner graph"; Sec. 5: 0.075 mm²
+// suffices to store it).
+//
+// Word layout (LSB first):  [ addr | shift | last_of_cn ]
+//   addr        ⌈log2(ram_words)⌉ bits — IN message RAM address
+//   shift       ⌈log2(P)⌉ bits        — cyclic rotation of the network
+//   last_of_cn  1 bit                  — marks a check node's final message
+//                                        (starts the FU output stage)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/mapping.hpp"
+
+namespace dvbs2::arch {
+
+/// A packed configuration image for one rate.
+struct RomImage {
+    std::vector<std::uint32_t> words;  ///< one per check-phase cycle
+    int addr_bits = 0;
+    int shift_bits = 0;
+
+    int bits_per_word() const noexcept { return addr_bits + shift_bits + 1; }
+    long long total_bits() const noexcept {
+        return static_cast<long long>(words.size()) * bits_per_word();
+    }
+
+    /// Unpacks word w back into its fields.
+    int addr_of(std::uint32_t w) const noexcept {
+        return static_cast<int>(w & ((1u << addr_bits) - 1u));
+    }
+    int shift_of(std::uint32_t w) const noexcept {
+        return static_cast<int>((w >> addr_bits) & ((1u << shift_bits) - 1u));
+    }
+    bool last_of(std::uint32_t w) const noexcept {
+        return ((w >> (addr_bits + shift_bits)) & 1u) != 0;
+    }
+};
+
+/// Packs the mapping's slot schedule into a ROM image.
+RomImage build_rom_image(const HardwareMapping& mapping);
+
+/// Reconstructs a slot schedule from an image and verifies it against the
+/// mapping (address, shift and CN-boundary agreement). Returns true iff the
+/// image decodes losslessly — the integrator's acceptance check.
+bool verify_rom_image(const RomImage& image, const HardwareMapping& mapping);
+
+/// Renders the image as a hex memory file (one word per line, like a
+/// Verilog $readmemh input).
+std::string to_hex(const RomImage& image);
+
+}  // namespace dvbs2::arch

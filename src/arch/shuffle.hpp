@@ -1,0 +1,45 @@
+// Cyclic shuffle network model (paper Sec. 3/4, "shuffling network Π").
+//
+// The node mapping reduces the arbitrary permutation Π of the Tanner graph
+// to cyclic rotations of a P-lane word — realizable as a logarithmic barrel
+// shifter instead of a full crossbar, which is why the paper reports only
+// 0.55 mm² and no routing congestion for it.
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dvbs2::arch {
+
+/// Rotates `word` left by `shift` lanes: out[(i + shift) mod P] = in[i].
+/// This is the forward (check-phase read) direction; rotating by −shift
+/// restores the original lane order (write-back direction).
+template <typename T>
+std::vector<T> rotate_lanes(const std::vector<T>& word, int shift) {
+    const int p = static_cast<int>(word.size());
+    DVBS2_REQUIRE(p > 0, "empty word");
+    std::vector<T> out(word.size());
+    const int s = ((shift % p) + p) % p;
+    for (int i = 0; i < p; ++i) out[static_cast<std::size_t>((i + s) % p)] = word[static_cast<std::size_t>(i)];
+    return out;
+}
+
+/// Structural statistics of a barrel shifter for P lanes of `width` bits:
+/// ⌈log2(P)⌉ stages of 2:1 multiplexers per bit-lane.
+struct ShuffleNetworkStats {
+    int lanes = 0;
+    int width = 0;
+    int stages = 0;
+    long long mux2_count = 0;  ///< total 2:1 mux positions (lanes·width·stages)
+};
+
+inline ShuffleNetworkStats shuffle_network_stats(int lanes, int width) {
+    DVBS2_REQUIRE(lanes > 0 && width > 0, "bad network dimensions");
+    int stages = 0;
+    while ((1 << stages) < lanes) ++stages;
+    return {lanes, width, stages,
+            static_cast<long long>(lanes) * width * stages};
+}
+
+}  // namespace dvbs2::arch

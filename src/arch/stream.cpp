@@ -1,0 +1,59 @@
+#include "arch/stream.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvbs2::arch {
+
+StreamReport simulate_stream(const HardwareMapping& mapping, const StreamConfig& cfg,
+                             int num_frames) {
+    DVBS2_REQUIRE(num_frames >= 1, "need at least one frame");
+    DVBS2_REQUIRE(cfg.io_parallelism > 0 && cfg.iterations >= 1, "bad stream config");
+
+    const auto& cp = mapping.code().params();
+    const long long io_cycles = (cp.n + cfg.io_parallelism - 1) / cfg.io_parallelism;
+    const auto iter = simulate_iteration(mapping, cfg.memory);
+    const long long decode_cycles =
+        static_cast<long long>(cfg.iterations) * iter.cycles_per_iteration();
+
+    StreamReport rep;
+    rep.frames.resize(static_cast<std::size_t>(num_frames));
+    for (int n = 0; n < num_frames; ++n) {
+        FrameTiming& f = rep.frames[static_cast<std::size_t>(n)];
+        // Double-buffered channel RAM: frame n reuses the buffer frame n−2
+        // decoded from; its input can only start once that decode finished.
+        const long long prev_in_done =
+            n >= 1 ? rep.frames[static_cast<std::size_t>(n - 1)].input_done : 0;
+        const long long buffer_free =
+            n >= 2 ? rep.frames[static_cast<std::size_t>(n - 2)].decode_done : 0;
+        f.input_start = std::max(prev_in_done, buffer_free);
+        if (n >= 1) rep.io_stall_cycles += f.input_start - prev_in_done;
+        f.input_done = f.input_start + io_cycles;
+
+        const long long core_free =
+            n >= 1 ? rep.frames[static_cast<std::size_t>(n - 1)].decode_done : 0;
+        f.decode_start = std::max(f.input_done, core_free);
+        if (n >= 1) rep.core_idle_cycles += f.decode_start - core_free;
+        f.decode_done = f.decode_start + decode_cycles;
+
+        // Result streaming overlaps the next frame's input (paper Eq. 7).
+        const long long out_port_free =
+            n >= 1 ? rep.frames[static_cast<std::size_t>(n - 1)].output_done : 0;
+        f.output_done = std::max(f.decode_done, out_port_free) + io_cycles;
+    }
+    rep.total_cycles = rep.frames.back().output_done;
+    rep.first_frame_latency_s =
+        static_cast<double>(rep.frames.front().latency()) / cfg.clock_hz;
+    if (num_frames >= 2) {
+        const long long span = rep.frames.back().decode_done - rep.frames.front().decode_done;
+        rep.steady_info_bps = static_cast<double>(cp.k) * (num_frames - 1) /
+                              (static_cast<double>(span) / cfg.clock_hz);
+    } else {
+        rep.steady_info_bps =
+            static_cast<double>(cp.k) / (static_cast<double>(rep.total_cycles) / cfg.clock_hz);
+    }
+    return rep;
+}
+
+}  // namespace dvbs2::arch

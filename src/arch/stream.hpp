@@ -1,0 +1,55 @@
+// Frame-stream timing model — paper Eq. 7's I/O overlap:
+//
+//   "The decoder is capable to receive 10 channel values per clock cycle.
+//    Reading a new codeword of size C and writing the result of the prior
+//    processed block can be done in parallel with reading/writing P_IO data
+//    concurrently."
+//
+// The channel RAM is double-buffered: while block n is decoded (It
+// iterations of the core), block n+1 streams in and block n−1 streams out.
+// Per-frame latency and steady-state throughput therefore differ: the
+// stream simulator tracks both over a sequence of frames, including the
+// stall case where decode time is shorter than the I/O time (high P_IO
+// pressure at low iteration counts).
+#pragma once
+
+#include <vector>
+
+#include "arch/conflict.hpp"
+#include "arch/mapping.hpp"
+
+namespace dvbs2::arch {
+
+/// Operating point of the stream simulation.
+struct StreamConfig {
+    int iterations = 30;
+    int io_parallelism = 10;
+    double clock_hz = 270e6;
+    MemoryConfig memory;  ///< per-iteration cycle model
+};
+
+/// Timing of one frame in the stream.
+struct FrameTiming {
+    long long input_start = 0;   ///< cycle the first channel value arrives
+    long long input_done = 0;    ///< input buffer filled
+    long long decode_start = 0;  ///< core starts (input done AND core free)
+    long long decode_done = 0;
+    long long output_done = 0;   ///< result fully streamed out
+    long long latency() const { return output_done - input_start; }
+};
+
+/// Aggregate result of streaming `frames` codewords back to back.
+struct StreamReport {
+    std::vector<FrameTiming> frames;
+    long long total_cycles = 0;          ///< first input to last output
+    double steady_info_bps = 0.0;        ///< K·(n−1)/(time between frame 1 and n)
+    double first_frame_latency_s = 0.0;
+    long long core_idle_cycles = 0;      ///< decode engine stalls waiting for input
+    long long io_stall_cycles = 0;       ///< input waits for the decode buffer
+};
+
+/// Simulates `num_frames` frames through the double-buffered pipeline.
+StreamReport simulate_stream(const HardwareMapping& mapping, const StreamConfig& cfg,
+                             int num_frames);
+
+}  // namespace dvbs2::arch

@@ -1,0 +1,30 @@
+#include "arch/throughput.hpp"
+
+#include "util/error.hpp"
+
+namespace dvbs2::arch {
+
+ThroughputReport throughput(const code::CodeParams& params, const ThroughputConfig& cfg) {
+    DVBS2_REQUIRE(cfg.io_parallelism > 0 && cfg.iterations >= 0, "bad throughput config");
+    ThroughputReport r;
+    r.io_cycles = (params.n + cfg.io_parallelism - 1) / cfg.io_parallelism;
+    r.cycles_per_iter = 2 * params.addr_words() + cfg.latency_per_iteration;
+    r.total_cycles = r.io_cycles + static_cast<long long>(cfg.iterations) * r.cycles_per_iter;
+    const double block_time = static_cast<double>(r.total_cycles) / cfg.clock_hz;
+    r.info_throughput_bps = static_cast<double>(params.k) / block_time;
+    r.coded_throughput_bps = static_cast<double>(params.n) / block_time;
+    return r;
+}
+
+int max_iterations_at(const code::CodeParams& params, const ThroughputConfig& cfg,
+                      double target_info_bps) {
+    DVBS2_REQUIRE(target_info_bps > 0.0, "target must be positive");
+    // total_cycles ≤ K·f/target  ⇒  It ≤ (budget − io) / per_iter.
+    const double budget = static_cast<double>(params.k) * cfg.clock_hz / target_info_bps;
+    const long long io = (params.n + cfg.io_parallelism - 1) / cfg.io_parallelism;
+    const long long per_iter = 2 * params.addr_words() + cfg.latency_per_iteration;
+    const double it = (budget - static_cast<double>(io)) / static_cast<double>(per_iter);
+    return it < 0.0 ? 0 : static_cast<int>(it);
+}
+
+}  // namespace dvbs2::arch

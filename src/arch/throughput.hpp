@@ -1,0 +1,44 @@
+// Decoder throughput model (paper Eq. 7/8).
+//
+//   T = I / ( C/P_IO + It · (2·E_IN/P + T_latency) ) · f_cycle
+//
+// C/P_IO is the I/O share (reading a new codeword of C channel values and
+// writing the previous result overlap, P_IO values per cycle); each of the
+// It iterations needs E_IN/P read cycles per phase (two phases) plus the
+// pipeline/network latency. The paper's operating point: P = 360,
+// P_IO = 10, It = 30, f = 270 MHz (ST 0.13 µm worst case), which meets the
+// 255 Mbit/s DVB-S2 base-station requirement.
+#pragma once
+
+#include <vector>
+
+#include "code/params.hpp"
+
+namespace dvbs2::arch {
+
+/// Operating point of the throughput model.
+struct ThroughputConfig {
+    double clock_hz = 270e6;  ///< paper Sec. 5: 270 MHz worst case
+    int io_parallelism = 10;  ///< P_IO channel values accepted per cycle
+    int iterations = 30;      ///< paper Sec. 5: 30 iterations assumed
+    int latency_per_iteration = 24;  ///< T_latency: FU pipeline + shuffle + drain
+};
+
+/// Cycle/throughput figures for one code.
+struct ThroughputReport {
+    long long io_cycles = 0;        ///< C / P_IO
+    long long cycles_per_iter = 0;  ///< 2·E_IN/P + T_latency
+    long long total_cycles = 0;     ///< io + It·per_iter
+    double info_throughput_bps = 0.0;   ///< K bits per block
+    double coded_throughput_bps = 0.0;  ///< N bits per block
+};
+
+/// Evaluates Eq. 8 for one parameter set.
+ThroughputReport throughput(const code::CodeParams& params, const ThroughputConfig& cfg);
+
+/// Iterations sustainable at a target information throughput (inverse of
+/// Eq. 8) — how the paper's "30 iterations at 255 Mbit/s" trade-off is read.
+int max_iterations_at(const code::CodeParams& params, const ThroughputConfig& cfg,
+                      double target_info_bps);
+
+}  // namespace dvbs2::arch

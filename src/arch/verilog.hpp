@@ -1,0 +1,57 @@
+// Synthesizable-Verilog generation for the IP's structural blocks.
+//
+// The paper's deliverable is a synthesizable VHDL model; this module emits
+// the equivalent RTL for the blocks whose structure this library computes:
+//   * the logarithmic barrel shifter (the "shuffling network Π"),
+//   * the boxplus functional-unit kernel with its correction ROM (the
+//     check-node datapath of Sec. 3, bit-exact with quant::BoxplusTable),
+//   * the per-rate address/shuffle configuration ROM (Sec. 4).
+// Each generator also produces a self-checking testbench plus golden
+// stimulus/response vectors computed by the C++ model, so an integrator
+// can verify the RTL in any simulator against exactly the behaviour the
+// bit-accurate decoder was validated with (experiment E10).
+//
+// No simulator is invoked here; the C++ tests validate the generators
+// structurally (ports, widths, vector counts, ROM contents) and the
+// semantics via the shared C++ reference functions.
+#pragma once
+
+#include <string>
+
+#include "arch/mapping.hpp"
+#include "arch/rom_image.hpp"
+#include "arch/shuffle.hpp"
+#include "quant/fixed.hpp"
+
+namespace dvbs2::arch {
+
+/// A generated RTL block: the module source, a self-checking testbench and
+/// a golden vector file (testbench reads it with $readmemh).
+struct VerilogBundle {
+    std::string module_name;
+    std::string module_source;
+    std::string testbench_source;
+    std::string vector_file_name;
+    std::string vectors;  ///< hex lines, one concatenated vector per line
+    int vector_count = 0;
+};
+
+/// Logarithmic barrel shifter: `lanes` lanes of `width` bits, rotate-left
+/// by the `shift` input (⌈log2 lanes⌉ stages of 2:1 muxes — the Table-3
+/// "shuffling network"). `vectors` random rotations are generated with
+/// rotate_lanes as the golden model.
+VerilogBundle generate_barrel_shifter(int lanes, int width, int vectors = 32,
+                                      std::uint64_t seed = 1);
+
+/// Boxplus kernel: two signed `spec.total_bits`-bit messages in, one out;
+/// sign·min datapath plus the correction ROM of quant::BoxplusTable,
+/// saturating — the core of the check-node functional unit. The golden
+/// vectors exhaustively cover the input space for widths ≤ 6 bits.
+VerilogBundle generate_boxplus_unit(const quant::QuantSpec& spec);
+
+/// Address/shuffle configuration ROM for one rate: a synchronous ROM
+/// initialized from the packed RomImage (words addressed by the check-phase
+/// cycle counter). Vectors replay the full schedule.
+VerilogBundle generate_config_rom(const HardwareMapping& mapping, const std::string& rate_label);
+
+}  // namespace dvbs2::arch

@@ -1,0 +1,208 @@
+#include "bch/bch.hpp"
+
+#include <algorithm>
+
+namespace dvbs2::bch {
+
+namespace {
+
+/// Dense binary polynomial, coefficient of x^i at bit i of words[i/64].
+using BitPoly = std::vector<std::uint64_t>;
+
+bool bit_of(const BitPoly& p, int i) { return (p[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1u; }
+
+void set_bit(BitPoly& p, int i) { p[static_cast<std::size_t>(i >> 6)] |= std::uint64_t{1} << (i & 63); }
+
+}  // namespace
+
+struct BchCode::Impl {
+    Impl(int m_in, int t_in, int n_in) : gf(m_in), t(t_in), n(n_in) {
+        DVBS2_REQUIRE(t >= 1, "t must be at least 1");
+        DVBS2_REQUIRE(n <= static_cast<int>(gf.order()), "n exceeds 2^m - 1");
+
+        // Generator polynomial: product of the minimal polynomials of
+        // alpha^i for i = 1, 3, ..., 2t-1 (one per cyclotomic coset).
+        std::vector<char> in_coset(gf.order() + 1, 0);
+        // Coefficients of g over GF(2^m) during construction (they are all
+        // 0/1 at the end because each factor is a complete coset product).
+        std::vector<std::uint32_t> g = {1};
+        for (int i = 1; i <= 2 * t - 1; i += 2) {
+            if (in_coset[static_cast<std::size_t>(i)]) continue;
+            // Walk the coset {i·2^j mod order}.
+            std::uint64_t e = static_cast<std::uint64_t>(i);
+            do {
+                in_coset[static_cast<std::size_t>(e)] = 1;
+                // Multiply g by (x + alpha^e).
+                const std::uint32_t root = gf.exp(e);
+                g.push_back(0);
+                for (std::size_t d = g.size() - 1; d > 0; --d)
+                    g[d] = g[d - 1] ^ gf.mul(g[d], root);
+                g[0] = gf.mul(g[0], root);
+                e = (e * 2) % gf.order();
+            } while (e != static_cast<std::uint64_t>(i));
+        }
+        for (std::uint32_t c : g)
+            DVBS2_REQUIRE(c <= 1, "generator polynomial has a non-binary coefficient");
+        parity = static_cast<int>(g.size()) - 1;
+        DVBS2_REQUIRE(n > parity, "codeword too short for the parity bits");
+
+        gen.assign(static_cast<std::size_t>((parity + 64) / 64), 0);
+        for (int d = 0; d < parity; ++d)  // store g without the leading term
+            if (g[static_cast<std::size_t>(d)]) set_bit(gen, d);
+    }
+
+    /// LFSR division: remainder of x^parity · info(x) by g(x). Info bit 0 is
+    /// the highest-degree coefficient (transmission order).
+    std::vector<std::uint64_t> remainder(const util::BitVec& info) const {
+        BitPoly rem(gen.size(), 0);
+        const int words = static_cast<int>(gen.size());
+        const int top = parity - 1;
+        for (std::size_t j = 0; j < info.size(); ++j) {
+            const bool fb = bit_of(rem, top) ^ info.get(j);
+            // Shift left by one across words.
+            for (int w = words - 1; w > 0; --w)
+                rem[static_cast<std::size_t>(w)] = (rem[static_cast<std::size_t>(w)] << 1) |
+                                                   (rem[static_cast<std::size_t>(w - 1)] >> 63);
+            rem[0] <<= 1;
+            if (fb)
+                for (int w = 0; w < words; ++w) rem[static_cast<std::size_t>(w)] ^= gen[static_cast<std::size_t>(w)];
+            // Mask above the top bit to keep the invariant deg < parity.
+            const int top_word = top >> 6;
+            const int top_bit = top & 63;
+            if (top_bit != 63)
+                rem[static_cast<std::size_t>(top_word)] &= (std::uint64_t{1} << (top_bit + 1)) - 1;
+        }
+        return rem;
+    }
+
+    /// Syndromes S_1..S_2t of a received word (bit j = coefficient of
+    /// x^(n-1-j)). All zero iff the word is a codeword.
+    std::vector<std::uint32_t> syndromes(const util::BitVec& word) const {
+        std::vector<std::uint32_t> s(static_cast<std::size_t>(2 * t), 0);
+        for (int i = 1; i <= 2 * t; ++i) {
+            // Horner: val = ((b_0 α^i + b_1) α^i + b_2) ...
+            std::uint32_t val = 0;
+            const std::uint32_t ai = gf.exp(static_cast<std::uint64_t>(i));
+            for (std::size_t j = 0; j < word.size(); ++j) {
+                val = gf.mul(val, ai);
+                if (word.get(j)) val ^= 1u;
+            }
+            s[static_cast<std::size_t>(i - 1)] = val;
+        }
+        return s;
+    }
+
+    GaloisField gf;
+    int t;
+    int n;
+    int parity = 0;
+    BitPoly gen;  // g(x) without the leading x^parity term
+};
+
+BchCode::BchCode(int m, int t, int n) : impl_(std::make_unique<Impl>(m, t, n)) {}
+BchCode::~BchCode() = default;
+BchCode::BchCode(BchCode&&) noexcept = default;
+BchCode& BchCode::operator=(BchCode&&) noexcept = default;
+
+int BchCode::n() const noexcept { return impl_->n; }
+int BchCode::k() const noexcept { return impl_->n - impl_->parity; }
+int BchCode::t() const noexcept { return impl_->t; }
+int BchCode::parity_bits() const noexcept { return impl_->parity; }
+
+util::BitVec BchCode::encode(const util::BitVec& info) const {
+    DVBS2_REQUIRE(info.size() == static_cast<std::size_t>(k()), "info length mismatch");
+    util::BitVec cw(static_cast<std::size_t>(n()));
+    for (std::size_t j = 0; j < info.size(); ++j)
+        if (info.get(j)) cw.set(j, true);
+    const auto rem = impl_->remainder(info);
+    // Parity bits follow, highest-degree remainder coefficient first.
+    for (int d = impl_->parity - 1; d >= 0; --d)
+        if (bit_of(rem, d))
+            cw.set(info.size() + static_cast<std::size_t>(impl_->parity - 1 - d), true);
+    return cw;
+}
+
+bool BchCode::is_codeword(const util::BitVec& word) const {
+    DVBS2_REQUIRE(word.size() == static_cast<std::size_t>(n()), "length mismatch");
+    const auto s = impl_->syndromes(word);
+    return std::all_of(s.begin(), s.end(), [](std::uint32_t v) { return v == 0; });
+}
+
+BchDecodeResult BchCode::decode(const util::BitVec& word) const {
+    DVBS2_REQUIRE(word.size() == static_cast<std::size_t>(n()), "length mismatch");
+    const auto& gf = impl_->gf;
+    const int t = impl_->t;
+
+    BchDecodeResult out;
+    out.codeword = word;
+
+    const auto s = impl_->syndromes(word);
+    if (std::all_of(s.begin(), s.end(), [](std::uint32_t v) { return v == 0; })) {
+        out.success = true;
+        return out;
+    }
+
+    // Berlekamp–Massey: find the shortest LFSR (error locator sigma) that
+    // generates the syndrome sequence.
+    std::vector<std::uint32_t> sigma = {1}, prev = {1};
+    int L = 0, shift = 1;
+    std::uint32_t prev_disc = 1;
+    for (int step = 0; step < 2 * t; ++step) {
+        std::uint32_t disc = s[static_cast<std::size_t>(step)];
+        for (int i = 1; i <= L && i < static_cast<int>(sigma.size()); ++i)
+            disc ^= gf.mul(sigma[static_cast<std::size_t>(i)], s[static_cast<std::size_t>(step - i)]);
+        if (disc == 0) {
+            ++shift;
+            continue;
+        }
+        const std::uint32_t factor = gf.div(disc, prev_disc);
+        std::vector<std::uint32_t> next = sigma;
+        if (next.size() < prev.size() + static_cast<std::size_t>(shift))
+            next.resize(prev.size() + static_cast<std::size_t>(shift), 0);
+        for (std::size_t i = 0; i < prev.size(); ++i)
+            next[i + static_cast<std::size_t>(shift)] ^= gf.mul(factor, prev[i]);
+        if (2 * L <= step) {
+            prev = sigma;
+            prev_disc = disc;
+            L = step + 1 - L;
+            shift = 1;
+        } else {
+            ++shift;
+        }
+        sigma = std::move(next);
+    }
+    while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+    const int deg = static_cast<int>(sigma.size()) - 1;
+    if (L > t || deg != L) return out;  // uncorrectable
+
+    // Chien search: position j (coefficient of x^(n-1-j)) is in error iff
+    // sigma(alpha^{-(n-1-j)}) = 0.
+    int found = 0;
+    for (int j = 0; j < impl_->n && found < L; ++j) {
+        const std::uint64_t e = static_cast<std::uint64_t>(impl_->n - 1 - j) % gf.order();
+        const std::uint32_t x = gf.exp(gf.order() - static_cast<std::uint32_t>(e % gf.order()));
+        // Evaluate sigma at x (Horner).
+        std::uint32_t val = sigma.back();
+        for (int d = deg - 1; d >= 0; --d)
+            val = gf.mul(val, x) ^ sigma[static_cast<std::size_t>(d)];
+        if (val == 0) {
+            out.codeword.flip(static_cast<std::size_t>(j));
+            ++found;
+        }
+    }
+    if (found != L) return out;  // roots outside the shortened range
+    out.errors_corrected = found;
+    out.success = true;
+    return out;
+}
+
+Dvbs2BchParams dvbs2_bch_params(code::CodeRate rate) {
+    // EN 302 307 Table 5a (long frames): N_bch = K_ldpc, t per rate.
+    const auto p = code::standard_params(rate, code::FrameSize::Long);
+    int t = 12;
+    if (rate == code::CodeRate::R2_3 || rate == code::CodeRate::R5_6) t = 10;
+    if (rate == code::CodeRate::R8_9 || rate == code::CodeRate::R9_10) t = 8;
+    return {t, p.k, p.k - 16 * t};
+}
+
+}  // namespace dvbs2::bch

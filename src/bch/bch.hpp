@@ -1,0 +1,72 @@
+// Binary BCH codec — the outer code of the DVB-S2 FEC frame.
+//
+// DVB-S2 concatenates a t-error-correcting BCH code (t ∈ {8, 10, 12},
+// GF(2^16)) with the LDPC inner code: BCHFEC output length equals K_ldpc.
+// The DATE'05 paper covers only the LDPC decoder; this module completes the
+// FEC chain so the repository is usable as a full DVB-S2 FEC stack (see
+// examples/fec_chain.cpp).
+//
+// Generic construction: g(x) = lcm of the minimal polynomials of
+// α, α³, …, α^(2t−1); systematic encoding by LFSR division; decoding by
+// syndrome computation, Berlekamp–Massey, and Chien search (binary code:
+// error magnitudes are all 1). Shortening is implicit: any k ≤ k_max is
+// encoded as if the leading information bits were zero.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "bch/gf.hpp"
+#include "code/params.hpp"
+#include "util/bitvec.hpp"
+
+namespace dvbs2::bch {
+
+/// Outcome of a BCH decode.
+struct BchDecodeResult {
+    util::BitVec codeword;     ///< corrected codeword (same length as input)
+    int errors_corrected = 0;  ///< number of bit flips applied
+    bool success = false;      ///< false → more than t errors detected
+};
+
+/// A t-error-correcting binary BCH code over GF(2^m), shortened to length
+/// `n` (information length n − parity_bits()).
+class BchCode {
+public:
+    /// Builds the code. `n` ≤ 2^m − 1 is the (shortened) codeword length;
+    /// it must leave at least one information bit after the m·t-ish parity.
+    BchCode(int m, int t, int n);
+    ~BchCode();
+    BchCode(BchCode&&) noexcept;
+    BchCode& operator=(BchCode&&) noexcept;
+
+    int n() const noexcept;            ///< codeword length
+    int k() const noexcept;            ///< information length
+    int t() const noexcept;            ///< correctable errors
+    int parity_bits() const noexcept;  ///< deg g(x)
+
+    /// Systematic encode: information bits first, then parity.
+    util::BitVec encode(const util::BitVec& info) const;
+
+    /// True iff all syndromes vanish.
+    bool is_codeword(const util::BitVec& word) const;
+
+    /// Decodes (corrects up to t bit errors in place of a copy).
+    BchDecodeResult decode(const util::BitVec& word) const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// The DVB-S2 outer-code parameters for a long-frame LDPC rate:
+/// N_bch = K_ldpc, with t and K_bch per EN 302 307 Table 5a.
+struct Dvbs2BchParams {
+    int t = 0;
+    int n_bch = 0;  ///< = K_ldpc
+    int k_bch = 0;  ///< = N_bch − 16·t
+};
+
+Dvbs2BchParams dvbs2_bch_params(code::CodeRate rate);
+
+}  // namespace dvbs2::bch

@@ -1,0 +1,97 @@
+#include "code/girth.hpp"
+
+#include <queue>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace dvbs2::code {
+
+namespace {
+
+/// Node encoding for the bipartite BFS: variables are [0, N), checks are
+/// N + c.
+struct Visit {
+    int dist;
+    int branch;  ///< which neighbor-of-start subtree this node belongs to
+};
+
+/// Enumerates the neighbors of a node, invoking fn(neighbor).
+template <typename Fn>
+void for_neighbors(const Dvbs2Code& code, int node, Fn&& fn) {
+    const int n = code.n();
+    const int k = code.k();
+    const int m = code.m();
+    const int kc = code.check_in_degree();
+    if (node < n) {
+        if (node < k) {
+            const long long* edges = code.info_edges(node);
+            for (int d = 0; d < code.info_degree(node); ++d)
+                fn(n + code.edge_check(edges[d]));
+        } else {
+            const int j = node - k;
+            fn(n + j);
+            if (j + 1 < m) fn(n + j + 1);
+        }
+    } else {
+        const int c = node - n;
+        const long long base = static_cast<long long>(c) * kc;
+        for (int d = 0; d < kc; ++d) fn(static_cast<int>(code.edge_variable(base + d)));
+        fn(k + c);
+        if (c > 0) fn(k + c - 1);
+    }
+}
+
+}  // namespace
+
+int local_girth(const Dvbs2Code& code, int v, int cap) {
+    DVBS2_REQUIRE(v >= 0 && v < code.n(), "variable index out of range");
+    DVBS2_REQUIRE(cap >= 4 && cap % 2 == 0, "cap must be an even length >= 4");
+
+    // Branch-labeled BFS: a cycle through v corresponds to two BFS paths
+    // from v that diverge immediately (different first-hop branches) and
+    // meet at an edge (u, w). Its length is dist(u) + dist(w) + 1.
+    std::unordered_map<int, Visit> seen;
+    std::queue<int> frontier;
+    seen.emplace(v, Visit{0, -1});
+    int branch_id = 0;
+    for_neighbors(code, v, [&](int nb) {
+        // Parallel edges would be a 2-cycle; the graph has none (enforced by
+        // construction), so each first-hop neighbor is distinct.
+        if (!seen.emplace(nb, Visit{1, branch_id}).second) return;
+        frontier.push(nb);
+        ++branch_id;
+    });
+
+    int best = cap;
+    const int max_depth = cap / 2;
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        const Visit vu = seen.at(u);
+        if (vu.dist >= max_depth) continue;
+        for_neighbors(code, u, [&](int w) {
+            if (w == v) return;
+            auto it = seen.find(w);
+            if (it == seen.end()) {
+                seen.emplace(w, Visit{vu.dist + 1, vu.branch});
+                frontier.push(w);
+            } else if (it->second.branch != vu.branch && it->second.branch != -1) {
+                const int len = vu.dist + it->second.dist + 1;
+                if (len < best) best = len;
+            }
+        });
+    }
+    return best;
+}
+
+std::vector<int> girth_histogram(const Dvbs2Code& code, int samples, int cap) {
+    DVBS2_REQUIRE(samples >= 1, "need at least one sample");
+    std::vector<int> hist(static_cast<std::size_t>(cap) + 1, 0);
+    const int stride = std::max(1, code.n() / samples);
+    for (int v = 0; v < code.n(); v += stride)
+        ++hist[static_cast<std::size_t>(local_girth(code, v, cap))];
+    return hist;
+}
+
+}  // namespace dvbs2::code

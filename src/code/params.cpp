@@ -1,0 +1,159 @@
+#include "code/params.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace dvbs2::code {
+
+const std::vector<CodeRate>& all_rates() {
+    static const std::vector<CodeRate> rates = {
+        CodeRate::R1_4, CodeRate::R1_3, CodeRate::R2_5, CodeRate::R1_2,
+        CodeRate::R3_5, CodeRate::R2_3, CodeRate::R3_4, CodeRate::R4_5,
+        CodeRate::R5_6, CodeRate::R8_9, CodeRate::R9_10,
+    };
+    return rates;
+}
+
+std::vector<CodeRate> rates_for(FrameSize frame) {
+    std::vector<CodeRate> rates = all_rates();
+    if (frame == FrameSize::Short) rates.pop_back();  // no 9/10 short frame
+    return rates;
+}
+
+std::string to_string(CodeRate rate) {
+    switch (rate) {
+        case CodeRate::R1_4: return "1/4";
+        case CodeRate::R1_3: return "1/3";
+        case CodeRate::R2_5: return "2/5";
+        case CodeRate::R1_2: return "1/2";
+        case CodeRate::R3_5: return "3/5";
+        case CodeRate::R2_3: return "2/3";
+        case CodeRate::R3_4: return "3/4";
+        case CodeRate::R4_5: return "4/5";
+        case CodeRate::R5_6: return "5/6";
+        case CodeRate::R8_9: return "8/9";
+        case CodeRate::R9_10: return "9/10";
+    }
+    return "?";
+}
+
+double rate_value(CodeRate rate) {
+    switch (rate) {
+        case CodeRate::R1_4: return 1.0 / 4.0;
+        case CodeRate::R1_3: return 1.0 / 3.0;
+        case CodeRate::R2_5: return 2.0 / 5.0;
+        case CodeRate::R1_2: return 1.0 / 2.0;
+        case CodeRate::R3_5: return 3.0 / 5.0;
+        case CodeRate::R2_3: return 2.0 / 3.0;
+        case CodeRate::R3_4: return 3.0 / 4.0;
+        case CodeRate::R4_5: return 4.0 / 5.0;
+        case CodeRate::R5_6: return 5.0 / 6.0;
+        case CodeRate::R8_9: return 8.0 / 9.0;
+        case CodeRate::R9_10: return 9.0 / 10.0;
+    }
+    return 0.0;
+}
+
+void CodeParams::validate() const {
+    DVBS2_REQUIRE(n > 0 && k > 0 && k < n, "need 0 < K < N");
+    DVBS2_REQUIRE(parallelism > 0, "parallelism must be positive");
+    DVBS2_REQUIRE(k % parallelism == 0, "K must be a multiple of the parallelism");
+    DVBS2_REQUIRE(m() % parallelism == 0, "N-K must be a multiple of the parallelism");
+    DVBS2_REQUIRE(q == m() / parallelism, "q must equal (N-K)/P (Eq. 2)");
+    DVBS2_REQUIRE(q >= 1, "q must be at least 1");
+    DVBS2_REQUIRE(n_hi >= 0 && n_hi <= k, "n_hi out of range");
+    DVBS2_REQUIRE(n_hi % parallelism == 0, "degree boundary must be group-aligned");
+    DVBS2_REQUIRE(deg_lo >= 2, "low degree must be at least 2");
+    DVBS2_REQUIRE(n_hi == 0 || deg_hi > deg_lo, "deg_hi must exceed deg_lo");
+    DVBS2_REQUIRE(check_deg >= 3, "check degree must be at least 3");
+    // Eq. 6 of the paper: E_IN / P = q (k − 2), which both balances the
+    // functional-unit load and makes the check nodes regular.
+    DVBS2_REQUIRE(e_in() == static_cast<long long>(parallelism) * q * (check_deg - 2),
+                  "E_IN must equal P*q*(check_deg-2) (Eq. 6)");
+}
+
+namespace {
+
+struct RateSpec {
+    CodeRate rate;
+    int k_long;
+    int deg_hi_long;
+    int n_hi_long;
+    int k_short;
+    int deg_hi_short;
+    int n_hi_short;
+};
+
+// Long-frame values are exactly the standard's (paper Table 1 / Table 2);
+// short-frame degree profiles are structure-compatible synthetic choices
+// (the standard's short-frame K values with group-aligned distributions
+// satisfying Eq. 6) — see DESIGN.md substitution table.
+constexpr std::array<RateSpec, 11> kSpecs = {{
+    {CodeRate::R1_4, 16200, 12, 5400, 3240, 12, 1800},
+    {CodeRate::R1_3, 21600, 12, 7200, 5400, 12, 1800},
+    {CodeRate::R2_5, 25920, 12, 8640, 6480, 12, 2160},
+    {CodeRate::R1_2, 32400, 8, 12960, 7200, 8, 4680},
+    {CodeRate::R3_5, 38880, 12, 12960, 9720, 12, 3240},
+    {CodeRate::R2_3, 43200, 13, 4320, 10800, 13, 1080},
+    {CodeRate::R3_4, 48600, 12, 5400, 11880, 12, 1800},
+    {CodeRate::R4_5, 51840, 11, 6480, 12600, 12, 1800},
+    {CodeRate::R5_6, 54000, 13, 5400, 13320, 12, 360},
+    {CodeRate::R8_9, 57600, 4, 7200, 14400, 4, 1800},
+    {CodeRate::R9_10, 58320, 4, 6480, 0, 0, 0},  // 9/10 undefined for short
+}};
+
+const RateSpec& spec_for(CodeRate rate) {
+    for (const auto& s : kSpecs)
+        if (s.rate == rate) return s;
+    throw std::runtime_error("unknown code rate");
+}
+
+}  // namespace
+
+CodeParams standard_params(CodeRate rate, FrameSize frame) {
+    const RateSpec& s = spec_for(rate);
+    CodeParams p;
+    p.parallelism = 360;
+    if (frame == FrameSize::Long) {
+        p.n = 64800;
+        p.k = s.k_long;
+        p.deg_hi = s.deg_hi_long;
+        p.n_hi = s.n_hi_long;
+        p.name = "DVB-S2 " + to_string(rate) + " long";
+    } else {
+        DVBS2_REQUIRE(rate != CodeRate::R9_10, "rate 9/10 is not defined for short frames");
+        p.n = 16200;
+        p.k = s.k_short;
+        p.deg_hi = s.deg_hi_short;
+        p.n_hi = s.n_hi_short;
+        p.name = "DVB-S2 " + to_string(rate) + " short";
+    }
+    p.q = p.m() / p.parallelism;
+    p.check_deg = static_cast<int>(p.e_in() / p.m()) + 2;
+    // Deterministic per-(rate, frame) seed so the synthetic tables are stable
+    // across runs and across machines.
+    p.seed = 0xD5B52ULL * 1000003ULL + static_cast<std::uint64_t>(rate) * 257ULL +
+             (frame == FrameSize::Short ? 131071ULL : 0ULL);
+    p.validate();
+    return p;
+}
+
+CodeParams toy_params(int p, int q, int groups_hi, int deg_hi, int groups_lo, std::uint64_t seed) {
+    CodeParams cp;
+    cp.parallelism = p;
+    cp.q = q;
+    cp.k = p * (groups_hi + groups_lo);
+    cp.n = cp.k + p * q;
+    cp.deg_hi = deg_hi;
+    cp.n_hi = p * groups_hi;
+    cp.seed = seed;
+    DVBS2_REQUIRE(cp.e_in() % cp.m() == 0,
+                  "toy code: E_IN must be divisible by N-K for a regular check degree");
+    cp.check_deg = static_cast<int>(cp.e_in() / cp.m()) + 2;
+    cp.name = "toy p=" + std::to_string(p) + " q=" + std::to_string(q);
+    cp.validate();
+    return cp;
+}
+
+}  // namespace dvbs2::code

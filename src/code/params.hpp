@@ -1,0 +1,106 @@
+// DVB-S2 LDPC code parameters (paper Table 1 / Table 2).
+//
+// The DVB-S2 standard defines irregular repeat-accumulate (IRA) codes for 11
+// code rates at codeword length N = 64800 (and 10 rates at the short frame
+// N = 16200). A code is fully described by:
+//   * K information nodes: n_hi of degree deg_hi, the rest of degree 3,
+//   * N-K parity nodes of degree 2 in a fixed zigzag chain,
+//   * N-K check nodes of constant degree check_deg,
+//   * the group-structured permutation Π: information bits come in groups of
+//     `parallelism` (=360); bit i of a group with table entry x connects to
+//     check node (x + i·q) mod (N−K), with q = (N−K)/parallelism (Eq. 2).
+//
+// This header provides the per-rate parameter database plus the derived
+// quantities of the paper's Table 2 (E_IN, E_PN, Addr). Custom parameter
+// sets (small "toy" codes with reduced parallelism) are supported so tests
+// can exercise every code path cheaply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvbs2::code {
+
+/// The 11 code rates of EN 302 307 (paper Table 1).
+enum class CodeRate {
+    R1_4,
+    R1_3,
+    R2_5,
+    R1_2,
+    R3_5,
+    R2_3,
+    R3_4,
+    R4_5,
+    R5_6,
+    R8_9,
+    R9_10,
+};
+
+/// Frame length selector. The paper focuses on the long (64800-bit) frame;
+/// short frames are provided as an extension (see DESIGN.md §4.5).
+enum class FrameSize { Long, Short };
+
+/// All rates in standard order.
+const std::vector<CodeRate>& all_rates();
+
+/// Rates defined for a frame size (9/10 does not exist for short frames).
+std::vector<CodeRate> rates_for(FrameSize frame);
+
+/// "1/4", "9/10", ...
+std::string to_string(CodeRate rate);
+
+/// Numeric value K/N of the nominal rate label.
+double rate_value(CodeRate rate);
+
+/// Complete structural description of one IRA code.
+struct CodeParams {
+    std::string name;      ///< human-readable label, e.g. "DVB-S2 1/2 long"
+    int n = 0;             ///< codeword length N
+    int k = 0;             ///< information length K
+    int parallelism = 360; ///< group size P (360 for DVB-S2)
+    int q = 0;             ///< (N−K)/P, the Eq. 2 stride
+    int deg_hi = 0;        ///< degree of the high-degree information nodes
+    int n_hi = 0;          ///< number of high-degree information nodes
+    int deg_lo = 3;        ///< degree of the remaining information nodes
+    int check_deg = 0;     ///< constant check-node degree k (incl. 2 parity edges)
+    std::uint64_t seed = 0;///< seed of the deterministic table generator
+
+    // --- derived quantities (paper Table 2) ---
+
+    /// Number of parity (= check) nodes, N − K.
+    int m() const noexcept { return n - k; }
+    /// Number of low-degree information nodes.
+    int n_lo() const noexcept { return k - n_hi; }
+    /// Edges between information and check nodes: E_IN.
+    long long e_in() const noexcept {
+        return static_cast<long long>(n_hi) * deg_hi + static_cast<long long>(n_lo()) * deg_lo;
+    }
+    /// Edges between parity and check nodes (zigzag): E_PN = 2(N−K) − 1.
+    long long e_pn() const noexcept { return 2LL * m() - 1; }
+    /// Address/shuffle ROM words: E_IN / P (Table 2 "Addr").
+    long long addr_words() const noexcept { return e_in() / parallelism; }
+    /// Number of information-bit groups, K / P.
+    int groups() const noexcept { return k / parallelism; }
+    /// Number of high-degree groups, n_hi / P.
+    int groups_hi() const noexcept { return n_hi / parallelism; }
+    /// Actual code rate K/N.
+    double rate() const noexcept { return static_cast<double>(k) / static_cast<double>(n); }
+
+    /// Throws std::runtime_error unless all divisibility/consistency
+    /// invariants hold (q·P = N−K, E_IN = P·q·(check_deg−2), group-aligned
+    /// degree boundary, ...).
+    void validate() const;
+};
+
+/// Parameter set of a standard DVB-S2 code (synthetic tables are generated
+/// from `seed`, which is fixed per (rate, frame) so codes are reproducible).
+CodeParams standard_params(CodeRate rate, FrameSize frame = FrameSize::Long);
+
+/// A small structurally-identical code for fast tests: parallelism `p`,
+/// `groups_hi` high-degree groups of degree `deg_hi`, `groups_lo` degree-3
+/// groups, q chosen from `q`. n/k follow from the group counts.
+CodeParams toy_params(int p, int q, int groups_hi, int deg_hi, int groups_lo,
+                      std::uint64_t seed = 42);
+
+}  // namespace dvbs2::code

@@ -1,0 +1,95 @@
+#include "code/profile_solver.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dvbs2::code {
+
+std::optional<CodeParams> derive_profile(int n, int k, int p, double target_avg_degree,
+                                         int deg_lo, int max_deg_hi, std::uint64_t seed) {
+    if (n <= 0 || k <= 0 || k >= n || p <= 0) return std::nullopt;
+    if (k % p != 0 || (n - k) % p != 0) return std::nullopt;
+    const int q = (n - k) / p;
+    const int groups = k / p;
+
+    std::optional<CodeParams> best;
+    double best_dist = 1e300;
+    for (int d_hi = deg_lo + 1; d_hi <= max_deg_hi; ++d_hi) {
+        for (int g_hi = 0; g_hi <= groups; ++g_hi) {
+            // Per-lane information edge count; Eq. 6 needs q | e_lane with a
+            // check degree of at least 3 (kc−2 ≥ 1).
+            const long long e_lane = static_cast<long long>(groups) * deg_lo +
+                                     static_cast<long long>(g_hi) * (d_hi - deg_lo);
+            if (e_lane % q != 0) continue;
+            const long long kc_minus2 = e_lane / q;
+            if (kc_minus2 < 1 || kc_minus2 + 2 > 40) continue;  // decoder degree cap
+            const double avg = static_cast<double>(e_lane) / groups;
+            const double dist = std::fabs(avg - target_avg_degree);
+            const bool better =
+                dist < best_dist - 1e-12 ||
+                (dist < best_dist + 1e-12 && best && d_hi > best->deg_hi);
+            if (!better) continue;
+            CodeParams cp;
+            cp.name = "derived " + std::to_string(k) + "/" + std::to_string(n);
+            cp.n = n;
+            cp.k = k;
+            cp.parallelism = p;
+            cp.q = q;
+            cp.deg_hi = g_hi > 0 ? d_hi : 0;
+            cp.n_hi = g_hi * p;
+            cp.deg_lo = deg_lo;
+            cp.check_deg = static_cast<int>(kc_minus2) + 2;
+            cp.seed = seed ^ (static_cast<std::uint64_t>(k) << 20) ^ static_cast<std::uint64_t>(n);
+            // A profile with zero high-degree groups must not claim deg_hi.
+            if (g_hi == 0) {
+                cp.deg_hi = deg_lo + 1;  // validate() requires deg_hi > deg_lo
+                cp.n_hi = 0;
+            }
+            try {
+                cp.validate();
+            } catch (const std::exception&) {
+                continue;
+            }
+            best = cp;
+            best_dist = dist;
+        }
+    }
+    return best;
+}
+
+double dvbs2_like_avg_degree(double rate) {
+    // Linear fit through the standard's profiles: R=1/4 → 6.0, R=1/2 → 5.0,
+    // R=3/4 → 4.0, R=9/10 → 3.1 (average information-node degrees).
+    const double avg = 7.1 - 4.4 * rate;
+    return avg < 3.1 ? 3.1 : avg;
+}
+
+const std::vector<XRateSpec>& dvbs2x_rates() {
+    // Normal-frame DVB-S2X rates with K = 360·(180·a/b) — all x/180-style
+    // rates are group-aligned by construction. Subset chosen to span the
+    // extension's range.
+    static const std::vector<XRateSpec> rates = {
+        {"2/9", 14400},    {"13/45", 18720},  {"9/20", 29160},   {"11/20", 35640},
+        {"26/45", 37440},  {"28/45", 40320},  {"23/36", 41400},  {"25/36", 45000},
+        {"13/18", 46800},  {"7/9", 50400},    {"90/180", 32400}, {"96/180", 34560},
+        {"100/180", 36000},{"104/180", 37440},{"116/180", 41760},{"124/180", 44640},
+        {"128/180", 46080},{"132/180", 47520},{"140/180", 50400},{"154/180", 55440},
+        {"77/90", 55440},
+    };
+    return rates;
+}
+
+CodeParams dvbs2x_params(const std::string& label) {
+    for (const auto& spec : dvbs2x_rates()) {
+        if (spec.label != label) continue;
+        const double rate = static_cast<double>(spec.k) / 64800.0;
+        auto cp = derive_profile(64800, spec.k, 360, dvbs2_like_avg_degree(rate));
+        DVBS2_REQUIRE(cp.has_value(), "no feasible profile for DVB-S2X rate " + label);
+        cp->name = "DVB-S2X " + label + " (synthetic profile)";
+        return *cp;
+    }
+    throw std::runtime_error("unknown DVB-S2X rate label: " + label);
+}
+
+}  // namespace dvbs2::code

@@ -1,0 +1,49 @@
+// Degree-profile solver — "bring your own code rate".
+//
+// The paper's architecture requirements (Sec. 3) constrain a code's degree
+// profile, not its rate: K and N−K multiples of P, a group-aligned
+// two-level information degree distribution, and Eq. 6
+// (E_IN = P·q·(check_deg−2), which simultaneously balances the FU load and
+// makes the check nodes regular). This module searches the (deg_hi,
+// groups_hi) plane for profiles satisfying those constraints for an
+// arbitrary (n, k), enabling the DVB-S2X extension rates (and any custom
+// rate) on the same decoder — the direction the successor works took
+// (DVB-S2X decoders reuse exactly this structure).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "code/params.hpp"
+
+namespace dvbs2::code {
+
+/// Searches for a valid profile for codeword length `n` and info length
+/// `k` at parallelism `p`. Among all (deg_hi ∈ [deg_lo+1, max_deg_hi],
+/// groups_hi) satisfying the structural constraints, returns the one whose
+/// average information-node degree is closest to `target_avg_degree`
+/// (ties: larger deg_hi, matching DVB-S2's concentrated profiles).
+/// Returns nullopt when no profile exists (e.g. K or N−K not multiples of
+/// p, or no Eq. 6-compatible split).
+std::optional<CodeParams> derive_profile(int n, int k, int p, double target_avg_degree,
+                                         int deg_lo = 3, int max_deg_hi = 14,
+                                         std::uint64_t seed = 0x5e0d);
+
+/// Heuristic degree target mirroring the DVB-S2 family: low rates use
+/// denser profiles (avg ≈ 6 at R=1/4) than high rates (≈ 3.1 at R=9/10).
+double dvbs2_like_avg_degree(double rate);
+
+/// A DVB-S2X-style extension rate (normal frame N = 64800).
+struct XRateSpec {
+    std::string label;  ///< e.g. "100/180"
+    int k;              ///< information length (multiple of 360)
+};
+
+/// Representative DVB-S2X normal-frame rates (subset of EN 302 307-2).
+const std::vector<XRateSpec>& dvbs2x_rates();
+
+/// Profile for one DVB-S2X rate label; throws if the label is unknown.
+CodeParams dvbs2x_params(const std::string& label);
+
+}  // namespace dvbs2::code

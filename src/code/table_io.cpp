@@ -1,0 +1,51 @@
+#include "code/table_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dvbs2::code {
+
+void save_tables(std::ostream& os, const IraTables& tables) {
+    os << "# groups=" << tables.rows.size() << '\n';
+    for (const auto& row : tables.rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) os << (i ? " " : "") << row[i];
+        os << '\n';
+    }
+}
+
+IraTables load_tables(std::istream& is) {
+    IraTables tables;
+    std::string line;
+    while (std::getline(is, line)) {
+        // Strip comments and skip blank lines.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream ls(line);
+        std::vector<std::uint32_t> row;
+        long long v = 0;
+        while (ls >> v) {
+            DVBS2_REQUIRE(v >= 0 && v <= 0xFFFFFFFFLL, "table entry out of range");
+            row.push_back(static_cast<std::uint32_t>(v));
+        }
+        DVBS2_REQUIRE(ls.eof(), "malformed table line: '" + line + "'");
+        if (!row.empty()) tables.rows.push_back(std::move(row));
+    }
+    DVBS2_REQUIRE(!tables.rows.empty(), "no table rows found");
+    return tables;
+}
+
+std::string tables_to_string(const IraTables& tables) {
+    std::ostringstream os;
+    save_tables(os, tables);
+    return os.str();
+}
+
+IraTables tables_from_string(const std::string& text) {
+    std::istringstream is(text);
+    return load_tables(is);
+}
+
+}  // namespace dvbs2::code

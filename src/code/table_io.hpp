@@ -1,0 +1,30 @@
+// Text serialization of IRA connection tables.
+//
+// The format mirrors how the standard publishes its Annex-B tables — one
+// line per group of 360 bits, the parity-accumulator addresses separated by
+// spaces — so externally supplied tables (e.g. the real ETSI ones, where a
+// user has them) can be loaded into Dvbs2Code in place of the synthetic
+// generator, and generated tables can be exported for inspection or for a
+// hardware configuration flow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "code/tables.hpp"
+
+namespace dvbs2::code {
+
+/// Writes `tables` as text: a header line "# groups=<G>" then one line of
+/// space-separated addresses per group.
+void save_tables(std::ostream& os, const IraTables& tables);
+
+/// Parses tables written by save_tables (or hand-authored in the same
+/// format; '#' starts a comment line). Throws on malformed input.
+IraTables load_tables(std::istream& is);
+
+/// Convenience round-trip through a string.
+std::string tables_to_string(const IraTables& tables);
+IraTables tables_from_string(const std::string& text);
+
+}  // namespace dvbs2::code

@@ -1,0 +1,244 @@
+#include "code/tables.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace dvbs2::code {
+
+namespace {
+
+// Flat view of all table entries during generation.
+struct Entry {
+    int row;       // group index
+    int residue;   // x mod q  (fixed: enforces check regularity)
+    int quotient;  // ⌊x/q⌋ ∈ [0, P)  (resampled to remove conflicts)
+};
+
+// Collision key for the 4-cycle / double-edge test. Two entries of the same
+// residue class r with rows (g1, g2) and quotients (s1, s2) make information
+// bits (g1, i) and (g2, i + (s1−s2) mod P) share one check node, for every
+// lane i. A 4-cycle exists iff two distinct same-residue pairs map to the
+// same canonical (g_lo, g_hi, Δ) key; a double edge is the degenerate
+// same-row Δ = 0 case.
+// A single same-residue pair whose lane offset is exactly P/2 (P even) is a
+// 4-cycle on its own: the pair coincides with its own reverse orientation,
+// so bits (g1, i) and (g2, i + P/2) share *two* check nodes. (Caught the
+// hard way by the BFS girth scanner; see test_girth.cpp.)
+bool half_turn_pair(const Entry& a, const Entry& b, int p) {
+    if (p % 2 != 0) return false;
+    int delta = (a.quotient - b.quotient) % p;
+    if (delta < 0) delta += p;
+    return delta == p / 2;
+}
+
+std::uint64_t pair_key(const Entry& a, const Entry& b, int p) {
+    int g1 = a.row, g2 = b.row;
+    int delta = (a.quotient - b.quotient) % p;
+    if (delta < 0) delta += p;
+    if (g1 == g2) {
+        delta = std::min(delta, p - delta);  // unordered bit pair within a group
+    } else if (g1 > g2) {
+        std::swap(g1, g2);
+        delta = (p - delta) % p;  // orient the offset from the lower group
+    }
+    return (static_cast<std::uint64_t>(g1) << 40) ^ (static_cast<std::uint64_t>(g2) << 16) ^
+           static_cast<std::uint64_t>(delta);
+}
+
+}  // namespace
+
+IraTables generate_tables(const CodeParams& params) {
+    params.validate();
+    const int p = params.parallelism;
+    const int q = params.q;
+    const int per_residue = params.check_deg - 2;
+    const int groups = params.groups();
+    const int m_total = params.m();
+
+    util::Xoshiro256pp rng(params.seed);
+
+    // Row degrees: the first groups_hi groups carry the high-degree columns.
+    std::vector<int> row_degree(static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g)
+        row_degree[static_cast<std::size_t>(g)] = g < params.groups_hi() ? params.deg_hi : params.deg_lo;
+
+    // The constraint system is solved by randomized repair (resample the
+    // quotient of one entry of each violated pair); tight toy parameter
+    // sets can need a fresh residue dealing, hence the outer attempt loop.
+    const int kMaxAttempts = 40;
+    const int kMaxRounds = 4000;
+    std::vector<Entry> entries;
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        // Residue pool: each residue exactly (check_deg − 2) times — this is
+        // what makes every check node receive exactly (check_deg − 2)
+        // information edges (see header). Shuffle, then deal into row slots.
+        std::vector<int> pool;
+        pool.reserve(static_cast<std::size_t>(q) * static_cast<std::size_t>(per_residue));
+        for (int r = 0; r < q; ++r)
+            for (int c = 0; c < per_residue; ++c) pool.push_back(r);
+        for (std::size_t i = pool.size(); i > 1; --i)
+            std::swap(pool[i - 1], pool[rng.below(i)]);
+
+        entries.clear();
+        entries.reserve(pool.size());
+        std::size_t next = 0;
+        for (int g = 0; g < groups; ++g) {
+            for (int d = 0; d < row_degree[static_cast<std::size_t>(g)]; ++d) {
+                DVBS2_REQUIRE(next < pool.size(), "residue pool exhausted — inconsistent params");
+                entries.push_back(Entry{g, pool[next++], static_cast<int>(rng.below(
+                                                             static_cast<std::uint64_t>(p)))});
+            }
+        }
+        DVBS2_REQUIRE(next == pool.size(), "residue pool not fully consumed");
+
+        // Group entries by residue class for the pair scan, and by row for
+        // the zigzag-adjacency scan.
+        std::vector<std::vector<std::size_t>> by_residue(static_cast<std::size_t>(q));
+        std::vector<std::vector<std::size_t>> by_row(static_cast<std::size_t>(groups));
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            by_residue[static_cast<std::size_t>(entries[e].residue)].push_back(e);
+            by_row[static_cast<std::size_t>(entries[e].row)].push_back(e);
+        }
+
+        // Iteratively resample quotients until all constraints hold.
+        bool clean = false;
+        for (int round = 0; round < kMaxRounds && !clean; ++round) {
+            clean = true;
+            seen.clear();
+            seen.reserve(entries.size() * static_cast<std::size_t>(per_residue));
+            for (const auto& cls : by_residue) {
+                for (std::size_t i = 0; i < cls.size(); ++i) {
+                    for (std::size_t j = i + 1; j < cls.size(); ++j) {
+                        Entry& a = entries[cls[i]];
+                        Entry& b = entries[cls[j]];
+                        const bool double_edge = (a.row == b.row) && (a.quotient == b.quotient);
+                        const std::uint64_t key = pair_key(a, b, p);
+                        if (double_edge || half_turn_pair(a, b, p) || seen.count(key)) {
+                            b.quotient =
+                                static_cast<int>(rng.below(static_cast<std::uint64_t>(p)));
+                            clean = false;
+                        } else {
+                            seen.emplace(key, cls[j]);
+                        }
+                    }
+                }
+                if (!clean) break;  // restart the scan with the new quotient
+            }
+            if (!clean) continue;
+
+            // Zigzag-adjacency scan: two entries of one row with values x
+            // and x±1 (mod M) put the same information bit on two chain-
+            // adjacent check nodes — a 4-cycle through the parity bit
+            // between them.
+            for (const auto& row_entries : by_row) {
+                for (std::size_t i = 0; i < row_entries.size() && clean; ++i) {
+                    for (std::size_t j = i + 1; j < row_entries.size(); ++j) {
+                        Entry& a = entries[row_entries[i]];
+                        Entry& b = entries[row_entries[j]];
+                        const int xa = a.residue + q * a.quotient;
+                        const int xb = b.residue + q * b.quotient;
+                        int diff = (xa - xb) % m_total;
+                        if (diff < 0) diff += m_total;
+                        if (diff == 1 || diff == m_total - 1) {
+                            b.quotient =
+                                static_cast<int>(rng.below(static_cast<std::uint64_t>(p)));
+                            clean = false;
+                            break;
+                        }
+                    }
+                }
+                if (!clean) break;
+            }
+        }
+        if (!clean) continue;  // fresh residue dealing
+
+        IraTables tables;
+        tables.rows.resize(static_cast<std::size_t>(groups));
+        for (const auto& e : entries)
+            tables.rows[static_cast<std::size_t>(e.row)].push_back(
+                static_cast<std::uint32_t>(e.residue + q * e.quotient));
+        for (auto& row : tables.rows) std::sort(row.begin(), row.end());
+        return tables;
+    }
+    throw std::runtime_error("table generator failed to converge for " + params.name +
+                             " — parameters too tight for a girth-6 code");
+}
+
+IraTables generate_tables_unconstrained(const CodeParams& params) {
+    params.validate();
+    const int p = params.parallelism;
+    const int q = params.q;
+    const int per_residue = params.check_deg - 2;
+    const int groups = params.groups();
+
+    // Decorrelate from the constrained generator so ablation pairs are
+    // independent draws.
+    util::Xoshiro256pp rng(params.seed ^ 0xABBAABBAULL);
+
+    std::vector<int> pool;
+    for (int r = 0; r < q; ++r)
+        for (int c = 0; c < per_residue; ++c) pool.push_back(r);
+    for (std::size_t i = pool.size(); i > 1; --i)
+        std::swap(pool[i - 1], pool[rng.below(i)]);
+
+    IraTables tables;
+    tables.rows.resize(static_cast<std::size_t>(groups));
+    std::size_t next = 0;
+    for (int g = 0; g < groups; ++g) {
+        const int deg = g < params.groups_hi() ? params.deg_hi : params.deg_lo;
+        auto& row = tables.rows[static_cast<std::size_t>(g)];
+        for (int d = 0; d < deg; ++d) {
+            const int r = pool[next++];
+            // Double edges only: resample the quotient until the value is
+            // new within the row.
+            std::uint32_t x;
+            do {
+                x = static_cast<std::uint32_t>(
+                    r + q * static_cast<int>(rng.below(static_cast<std::uint64_t>(p))));
+            } while (std::find(row.begin(), row.end(), x) != row.end());
+            row.push_back(x);
+        }
+        std::sort(row.begin(), row.end());
+    }
+    return tables;
+}
+
+long long count_information_4cycles(const CodeParams& params, const IraTables& tables) {
+    const int p = params.parallelism;
+    const int q = params.q;
+
+    std::vector<Entry> entries;
+    for (std::size_t g = 0; g < tables.rows.size(); ++g)
+        for (std::uint32_t x : tables.rows[g])
+            entries.push_back(Entry{static_cast<int>(g), static_cast<int>(x) % q,
+                                    static_cast<int>(x) / q});
+
+    std::vector<std::vector<std::size_t>> by_residue(static_cast<std::size_t>(q));
+    for (std::size_t e = 0; e < entries.size(); ++e)
+        by_residue[static_cast<std::size_t>(entries[e].residue)].push_back(e);
+
+    std::unordered_map<std::uint64_t, long long> multiplicity;
+    long long half_turn_cycles = 0;
+    for (const auto& cls : by_residue) {
+        for (std::size_t i = 0; i < cls.size(); ++i) {
+            for (std::size_t j = i + 1; j < cls.size(); ++j) {
+                ++multiplicity[pair_key(entries[cls[i]], entries[cls[j]], p)];
+                if (half_turn_pair(entries[cls[i]], entries[cls[j]], p)) ++half_turn_cycles;
+            }
+        }
+    }
+
+    long long cycles = half_turn_cycles;
+    for (const auto& [key, t] : multiplicity) {
+        (void)key;
+        cycles += t * (t - 1) / 2;  // each pair of colliding entry-pairs is one 4-cycle
+    }
+    return cycles;
+}
+
+}  // namespace dvbs2::code

@@ -1,0 +1,61 @@
+// Synthetic DVB-S2-structured IRA connection tables.
+//
+// The standard publishes, for every code rate, one table row per group of
+// 360 information bits; row g lists deg(g) parity-accumulator addresses
+// x ∈ [0, N−K). Bit i of the group connects to check node (x + i·q) mod
+// (N−K) (Eq. 2 of the paper). The ETSI tables themselves are not
+// redistributable here, so this module *generates* tables with the same
+// structural guarantees the architecture relies on:
+//
+//  1. group-shift property: x = r + q·s (r = x mod q, s = ⌊x/q⌋), so the 360
+//     edges of an entry hit 360 distinct functional units at one common local
+//     address — satisfied by construction of Eq. 2;
+//  2. check-node regularity: every check node receives exactly
+//     (check_deg − 2) information edges. This holds iff every residue class
+//     r mod q contains exactly (check_deg − 2) table entries;
+//  3. no double edges and no length-4 cycles in the information part:
+//     a 4-cycle exists iff two same-residue entry pairs produce the same
+//     (group₁, group₂, lane-offset Δ) collision key (see tables.cpp);
+//  4. no length-4 cycles through the zigzag chain either: no row contains
+//     two values x, x±1 (mod N−K), which would put one information bit on
+//     two chain-adjacent check nodes. Together with 3 this gives girth ≥ 6
+//     for the full Tanner graph (verified by code/girth.hpp).
+//
+// Generation is deterministic from CodeParams::seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "code/params.hpp"
+
+namespace dvbs2::code {
+
+/// One generated table: rows[g] lists the accumulator addresses of group g.
+struct IraTables {
+    std::vector<std::vector<std::uint32_t>> rows;
+
+    /// Total number of entries = E_IN / P.
+    std::size_t entry_count() const noexcept {
+        std::size_t c = 0;
+        for (const auto& r : rows) c += r.size();
+        return c;
+    }
+};
+
+/// Generates the connection tables for `params` (deterministic in
+/// params.seed). Throws if the generator cannot satisfy the structural
+/// constraints (which only happens for degenerate toy parameters).
+IraTables generate_tables(const CodeParams& params);
+
+/// Counts remaining 4-cycles in the information part of a table set (0 for
+/// tables from generate_tables; used by tests and by the girth validator).
+long long count_information_4cycles(const CodeParams& params, const IraTables& tables);
+
+/// Ablation variant: generates tables with the same residue-regularity
+/// (check-regular, Eq. 6) but WITHOUT the girth constraints — only double
+/// edges are avoided. Used to quantify what the 4-cycle removal buys in
+/// BER (bench_ablation_girth); never use for a production code.
+IraTables generate_tables_unconstrained(const CodeParams& params);
+
+}  // namespace dvbs2::code

@@ -1,0 +1,116 @@
+#include "code/tanner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dvbs2::code {
+
+Dvbs2Code::Dvbs2Code(const CodeParams& params) : Dvbs2Code(params, generate_tables(params)) {}
+
+Dvbs2Code::Dvbs2Code(const CodeParams& params, IraTables tables)
+    : params_(params), tables_(std::move(tables)) {
+    params_.validate();
+    DVBS2_REQUIRE(static_cast<int>(tables_.rows.size()) == params_.groups(),
+                  "table row count must equal the number of bit groups");
+    build();
+}
+
+void Dvbs2Code::build() {
+    const int p = params_.parallelism;
+    const int q = params_.q;
+    const int m = params_.m();
+    const int kc = check_in_degree();
+
+    // Pass 1: count edges per check node (must be exactly kc each — the
+    // generator guarantees it; explicit tables are validated here).
+    std::vector<int> cn_fill(static_cast<std::size_t>(m), 0);
+    for (std::size_t g = 0; g < tables_.rows.size(); ++g) {
+        DVBS2_REQUIRE(static_cast<int>(tables_.rows[g].size()) ==
+                          (static_cast<int>(g) < params_.groups_hi() ? params_.deg_hi
+                                                                     : params_.deg_lo),
+                      "row degree mismatch in group tables");
+        for (std::uint32_t x : tables_.rows[g]) {
+            DVBS2_REQUIRE(static_cast<int>(x) < m, "table entry out of range");
+            for (int i = 0; i < p; ++i) {
+                const int c = (static_cast<int>(x) + i * q) % m;
+                ++cn_fill[static_cast<std::size_t>(c)];
+            }
+        }
+    }
+    for (int c = 0; c < m; ++c)
+        DVBS2_REQUIRE(cn_fill[static_cast<std::size_t>(c)] == kc,
+                      "check node " + std::to_string(c) + " is not regular");
+
+    // Pass 2: place edges in check-major slots; within a CN, order by
+    // ascending variable index for a canonical layout.
+    const long long e_total = e_in();
+    std::vector<int> cursor(static_cast<std::size_t>(m), 0);
+    edge_variable_.assign(static_cast<std::size_t>(e_total), -1);
+    for (std::size_t g = 0; g < tables_.rows.size(); ++g) {
+        for (std::uint32_t x : tables_.rows[g]) {
+            for (int i = 0; i < p; ++i) {
+                const int c = (static_cast<int>(x) + i * q) % m;
+                const int v = static_cast<int>(g) * p + i;
+                const long long e = static_cast<long long>(c) * kc +
+                                    cursor[static_cast<std::size_t>(c)]++;
+                edge_variable_[static_cast<std::size_t>(e)] = v;
+            }
+        }
+    }
+    // Canonicalize: sort each CN's slot range by variable index.
+    for (int c = 0; c < m; ++c) {
+        auto first = edge_variable_.begin() + static_cast<long long>(c) * kc;
+        std::sort(first, first + kc);
+        DVBS2_REQUIRE(std::adjacent_find(first, first + kc) == first + kc,
+                      "double edge at check node " + std::to_string(c));
+    }
+
+    // Pass 3: variable-major CSR over the check-major edge ids.
+    info_edge_offset_.assign(static_cast<std::size_t>(params_.k) + 1, 0);
+    for (long long e = 0; e < e_total; ++e)
+        ++info_edge_offset_[static_cast<std::size_t>(edge_variable_[static_cast<std::size_t>(e)]) + 1];
+    std::partial_sum(info_edge_offset_.begin(), info_edge_offset_.end(), info_edge_offset_.begin());
+    info_edge_ids_.assign(static_cast<std::size_t>(e_total), 0);
+    std::vector<std::size_t> vpos(info_edge_offset_.begin(), info_edge_offset_.end() - 1);
+    for (long long e = 0; e < e_total; ++e) {
+        const int v = edge_variable_[static_cast<std::size_t>(e)];
+        info_edge_ids_[vpos[static_cast<std::size_t>(v)]++] = e;
+    }
+    for (int v = 0; v < params_.k; ++v)
+        DVBS2_REQUIRE(static_cast<int>(info_edge_offset_[static_cast<std::size_t>(v) + 1] -
+                                       info_edge_offset_[static_cast<std::size_t>(v)]) ==
+                          info_degree(v),
+                      "variable degree mismatch");
+}
+
+util::BitVec Dvbs2Code::syndrome(const util::BitVec& codeword) const {
+    DVBS2_REQUIRE(codeword.size() == static_cast<std::size_t>(params_.n),
+                  "codeword length mismatch");
+    const int m = params_.m();
+    const int kc = check_in_degree();
+    util::BitVec s(static_cast<std::size_t>(m));
+    // Information part.
+    for (int c = 0; c < m; ++c) {
+        bool parity = false;
+        const long long base = static_cast<long long>(c) * kc;
+        for (int d = 0; d < kc; ++d)
+            parity ^= codeword.get(
+                static_cast<std::size_t>(edge_variable_[static_cast<std::size_t>(base + d)]));
+        if (parity) s.flip(static_cast<std::size_t>(c));
+    }
+    // Zigzag part: CN j also checks parity bits p_j and p_{j−1}.
+    for (int j = 0; j < m; ++j) {
+        bool parity = codeword.get(static_cast<std::size_t>(params_.k + j));
+        if (j > 0) parity ^= codeword.get(static_cast<std::size_t>(params_.k + j - 1));
+        if (parity) s.flip(static_cast<std::size_t>(j));
+    }
+    return s;
+}
+
+bool Dvbs2Code::is_codeword(const util::BitVec& codeword) const {
+    return syndrome(codeword).none();
+}
+
+}  // namespace dvbs2::code

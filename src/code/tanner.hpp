@@ -1,0 +1,92 @@
+// Tanner-graph representation of a DVB-S2 IRA code (paper Fig. 1).
+//
+// Variable nodes: K information nodes (IN) followed by N−K parity nodes (PN,
+// all degree 2, zigzag chain). Check nodes: N−K. The information part of the
+// edge set (E_IN edges) is stored in CSR form twice — check-major for the
+// check-node phase and variable-major for the variable-node phase — with a
+// permutation linking the two orders. The zigzag part needs no storage
+// beyond its defining recurrence (PN j ↔ CN j, CN j+1).
+//
+// Edge identity: information edge e ∈ [0, E_IN) is numbered in check-major
+// order (all edges of CN 0, then CN 1, ...; within a CN, in ascending
+// variable index). Message arrays in the decoders are indexed by e.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "code/params.hpp"
+#include "code/tables.hpp"
+#include "util/bitvec.hpp"
+
+namespace dvbs2::code {
+
+/// Immutable Tanner graph + code structure. Construction performs the full
+/// Eq. 2 expansion of the group tables; all accessors are O(1).
+class Dvbs2Code {
+public:
+    /// Builds the code for `params`, generating tables from params.seed.
+    explicit Dvbs2Code(const CodeParams& params);
+
+    /// Builds the code from explicit tables (used by tests with hand-made
+    /// tables and by experiments that re-use a generated table set).
+    Dvbs2Code(const CodeParams& params, IraTables tables);
+
+    const CodeParams& params() const noexcept { return params_; }
+    const IraTables& tables() const noexcept { return tables_; }
+
+    int n() const noexcept { return params_.n; }
+    int k() const noexcept { return params_.k; }
+    int m() const noexcept { return params_.m(); }
+    long long e_in() const noexcept { return params_.e_in(); }
+
+    // --- check-major view (information edges only) ---
+
+    /// Number of information edges of check node c: constant check_deg − 2.
+    int check_in_degree() const noexcept { return params_.check_deg - 2; }
+
+    /// Information edges of CN c occupy ids [c*(check_deg−2), (c+1)*(check_deg−2)).
+    /// This accessor returns the variable (information-bit) index of edge e.
+    int edge_variable(long long e) const noexcept { return edge_variable_[static_cast<std::size_t>(e)]; }
+
+    // --- variable-major view ---
+
+    /// Degree of information bit v (deg_hi or deg_lo).
+    int info_degree(int v) const noexcept {
+        return v < params_.n_hi ? params_.deg_hi : params_.deg_lo;
+    }
+
+    /// Edge ids (check-major numbering) incident to information bit v, in the
+    /// order of the group-table entries (ascending x).
+    const long long* info_edges(int v) const noexcept {
+        return info_edge_ids_.data() + info_edge_offset_[static_cast<std::size_t>(v)];
+    }
+
+    /// Check node of information edge e.
+    int edge_check(long long e) const noexcept {
+        return static_cast<int>(e / check_in_degree());
+    }
+
+    // --- codeword predicates ---
+
+    /// Syndrome s = H·xᵀ over GF(2); bit j is the parity of CN j.
+    util::BitVec syndrome(const util::BitVec& codeword) const;
+
+    /// True iff `codeword` (size N) satisfies all parity checks.
+    bool is_codeword(const util::BitVec& codeword) const;
+
+private:
+    void build();
+
+    CodeParams params_;
+    IraTables tables_;
+
+    // Check-major: edge e → information-bit index.
+    std::vector<int> edge_variable_;
+    // Variable-major: per information bit, the list of its edge ids.
+    std::vector<long long> info_edge_ids_;
+    std::vector<std::size_t> info_edge_offset_;  // size K+1
+};
+
+}  // namespace dvbs2::code

@@ -1,0 +1,85 @@
+#include "code/validate.hpp"
+
+#include <map>
+
+namespace dvbs2::code {
+
+StructureReport audit_structure(const Dvbs2Code& code) {
+    const CodeParams& cp = code.params();
+    StructureReport rep;
+    rep.e_in = cp.e_in();
+    rep.e_pn = cp.e_pn();
+
+    // 1. Group-shift property: for every table entry x = r + q·s the 360
+    //    lanes must land on FU (s+i) mod P at common local address r. This
+    //    is Eq. 2 algebra; we verify it against the expanded graph by
+    //    checking that each entry's lane-i check node is (x + i·q) mod M and
+    //    that ⌊c/q⌋ enumerates all P FUs exactly once.
+    rep.group_shift_ok = true;
+    const int p = cp.parallelism;
+    const int q = cp.q;
+    const int m = cp.m();
+    std::vector<char> fu_seen(static_cast<std::size_t>(p));
+    for (std::size_t g = 0; g < code.tables().rows.size() && rep.group_shift_ok; ++g) {
+        for (std::uint32_t x : code.tables().rows[g]) {
+            std::fill(fu_seen.begin(), fu_seen.end(), 0);
+            const int r = static_cast<int>(x) % q;
+            for (int i = 0; i < p; ++i) {
+                const int c = (static_cast<int>(x) + i * q) % m;
+                if (c % q != r) {
+                    rep.group_shift_ok = false;
+                    rep.detail = "entry " + std::to_string(x) + " lane " + std::to_string(i) +
+                                 " breaks the common-address property";
+                    break;
+                }
+                fu_seen[static_cast<std::size_t>(c / q)] = 1;
+            }
+            for (int f = 0; f < p && rep.group_shift_ok; ++f) {
+                if (!fu_seen[static_cast<std::size_t>(f)]) {
+                    rep.group_shift_ok = false;
+                    rep.detail = "entry " + std::to_string(x) + " does not cover FU " +
+                                 std::to_string(f);
+                }
+            }
+            if (!rep.group_shift_ok) break;
+        }
+    }
+
+    // 2. Check regularity (the Dvbs2Code constructor enforces it; re-derive
+    //    from the histogram for an independent confirmation).
+    const auto hist = check_degree_histogram(code);
+    long long buckets = 0;
+    for (std::size_t d = 0; d < hist.size(); ++d)
+        if (hist[d] != 0) ++buckets;
+    rep.check_regular =
+        buckets == 1 && static_cast<std::size_t>(cp.check_deg - 2) < hist.size() &&
+        hist[static_cast<std::size_t>(cp.check_deg - 2)] == m;
+    if (!rep.check_regular && rep.detail.empty()) rep.detail = "check degrees not regular";
+
+    // 3. Load balance (Eq. 6): total IN edges per FU.
+    rep.load_balanced = cp.e_in() == static_cast<long long>(p) * q * (cp.check_deg - 2);
+    if (!rep.load_balanced && rep.detail.empty()) rep.detail = "Eq. 6 load balance violated";
+
+    // 4. Girth of the information part.
+    rep.four_cycles = count_information_4cycles(cp, code.tables());
+    if (rep.four_cycles != 0 && rep.detail.empty())
+        rep.detail = std::to_string(rep.four_cycles) + " information 4-cycles";
+
+    return rep;
+}
+
+std::vector<long long> check_degree_histogram(const Dvbs2Code& code) {
+    const CodeParams& cp = code.params();
+    std::vector<long long> counts(static_cast<std::size_t>(cp.m()), 0);
+    const long long e_total = cp.e_in();
+    for (long long e = 0; e < e_total; ++e)
+        ++counts[static_cast<std::size_t>(code.edge_check(e))];
+    std::vector<long long> hist;
+    for (long long c : counts) {
+        if (static_cast<std::size_t>(c) >= hist.size()) hist.resize(static_cast<std::size_t>(c) + 1, 0);
+        ++hist[static_cast<std::size_t>(c)];
+    }
+    return hist;
+}
+
+}  // namespace dvbs2::code

@@ -1,0 +1,39 @@
+// Structural validators for generated codes.
+//
+// These check the properties the paper's architecture depends on (and that
+// our reproduction of Tables 1/2 reports): the group-shift property of Π,
+// check regularity, per-FU load balance (Eq. 6), and girth ≥ 6 of the
+// information part.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "code/tanner.hpp"
+
+namespace dvbs2::code {
+
+/// Result of a structural audit of one code.
+struct StructureReport {
+    bool group_shift_ok = false;   ///< every table group maps to one cyclic shift
+    bool check_regular = false;    ///< all CNs have exactly check_deg−2 IN edges
+    bool load_balanced = false;    ///< Eq. 6: per-FU edge load equals q(check_deg−2)
+    long long four_cycles = -1;    ///< 4-cycles in the information part (0 expected)
+    long long e_in = 0;            ///< measured E_IN
+    long long e_pn = 0;            ///< measured E_PN
+    std::string detail;            ///< first failure description, empty when all ok
+
+    bool all_ok() const noexcept {
+        return group_shift_ok && check_regular && load_balanced && four_cycles == 0;
+    }
+};
+
+/// Audits `code` and returns the report. Never throws on a structural
+/// failure — failures are reported so benches can print them.
+StructureReport audit_structure(const Dvbs2Code& code);
+
+/// Per-check-node information degree histogram (degree → count); a regular
+/// code yields a single bucket at check_deg−2.
+std::vector<long long> check_degree_histogram(const Dvbs2Code& code);
+
+}  // namespace dvbs2::code

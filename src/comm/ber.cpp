@@ -1,0 +1,70 @@
+#include "comm/ber.hpp"
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace dvbs2::comm {
+
+BerPoint simulate_point(const code::Dvbs2Code& code, const DecodeFn& decode, double ebn0_db,
+                        const SimConfig& cfg) {
+    const auto& cp = code.params();
+    const double sigma = noise_sigma(ebn0_db, cp.rate(), cfg.modulation);
+    // Decorrelate the point's streams from the sweep position and seed.
+    const std::uint64_t point_seed =
+        util::mix64(cfg.seed ^ util::mix64(static_cast<std::uint64_t>(ebn0_db * 4096.0) + 7));
+    AwgnModem modem(cfg.modulation, point_seed);
+    util::Xoshiro256pp data_rng(util::mix64(point_seed + 1));
+    const enc::Encoder encoder(code);
+
+    BerPoint pt;
+    pt.ebn0_db = ebn0_db;
+    double iter_sum = 0.0;
+    for (std::uint64_t f = 0; f < cfg.limits.max_frames; ++f) {
+        util::BitVec info(static_cast<std::size_t>(cp.k));
+        if (cfg.random_data) {
+            for (int v = 0; v < cp.k; ++v)
+                if (data_rng() & 1u) info.set(static_cast<std::size_t>(v), true);
+        }
+        const util::BitVec cw = encoder.encode(info);
+        const std::vector<double> llr = modem.transmit(cw, sigma);
+        const DecodeOutcome out = decode(llr);
+        DVBS2_REQUIRE(out.info_bits.size() == static_cast<std::size_t>(cp.k),
+                      "decoder returned wrong info length");
+
+        const std::size_t errs = util::BitVec::hamming_distance(out.info_bits, info);
+        pt.bit_errors += errs;
+        if (errs != 0) {
+            ++pt.frame_errors;
+            if (out.converged) ++pt.undetected_frame_errors;
+        }
+        iter_sum += out.iterations;
+        ++pt.frames;
+
+        const bool enough_errors = pt.bit_errors >= cfg.limits.target_bit_errors &&
+                                   pt.frame_errors >= cfg.limits.target_frame_errors;
+        if (pt.frames >= cfg.limits.min_frames && enough_errors) break;
+    }
+    pt.avg_iterations = pt.frames ? iter_sum / static_cast<double>(pt.frames) : 0.0;
+    return pt;
+}
+
+std::vector<BerPoint> simulate_sweep(const code::Dvbs2Code& code, const DecodeFn& decode,
+                                     const std::vector<double>& ebn0_db, const SimConfig& cfg) {
+    std::vector<BerPoint> points;
+    points.reserve(ebn0_db.size());
+    for (double snr : ebn0_db) points.push_back(simulate_point(code, decode, snr, cfg));
+    return points;
+}
+
+double find_threshold_db(const code::Dvbs2Code& code, const DecodeFn& decode, double target_ber,
+                         double start_db, double step_db, const SimConfig& cfg, double max_db) {
+    DVBS2_REQUIRE(step_db > 0.0, "step must be positive");
+    const auto k_bits = static_cast<std::uint64_t>(code.params().k);
+    for (double snr = start_db; snr <= max_db + 1e-9; snr += step_db) {
+        const BerPoint pt = simulate_point(code, decode, snr, cfg);
+        if (pt.ber(k_bits) < target_ber) return snr;
+    }
+    return max_db;  // not reached within the scan range
+}
+
+}  // namespace dvbs2::comm

@@ -1,0 +1,86 @@
+// Monte-Carlo BER/FER measurement harness.
+//
+// Runs the full chain encode → modulate → AWGN → decode for a sweep of
+// Eb/N0 points, with early stopping once enough error events are observed.
+// The decoder is injected as a callback so the harness works with the
+// floating-point decoder, the fixed-point decoder and the cycle-driven
+// architecture model alike (and stays free of a dependency on core/arch).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "code/tanner.hpp"
+#include "comm/modem.hpp"
+#include "enc/encoder.hpp"
+#include "util/bitvec.hpp"
+
+namespace dvbs2::comm {
+
+/// What a decoder returns to the harness.
+struct DecodeOutcome {
+    util::BitVec info_bits;  ///< hard decisions for the K information bits
+    bool converged = false;  ///< syndrome satisfied before the iteration cap
+    int iterations = 0;      ///< iterations actually executed
+};
+
+/// Decoder under test: channel LLRs (size N, sign convention: positive → 0)
+/// to decoded info bits.
+using DecodeFn = std::function<DecodeOutcome(const std::vector<double>& llr)>;
+
+/// Stopping/size limits for one Eb/N0 point.
+struct SimLimits {
+    std::uint64_t max_frames = 200;    ///< hard cap on simulated frames
+    std::uint64_t min_frames = 8;      ///< always simulate at least this many
+    std::uint64_t target_bit_errors = 200;   ///< stop early once reached
+    std::uint64_t target_frame_errors = 20;  ///< stop early once reached
+};
+
+/// Result of one Eb/N0 point.
+struct BerPoint {
+    double ebn0_db = 0.0;
+    std::uint64_t frames = 0;
+    std::uint64_t bit_errors = 0;
+    std::uint64_t frame_errors = 0;
+    /// Frames where the decoder *claimed* convergence but delivered wrong
+    /// information bits (it converged to a different codeword). These are
+    /// the dangerous events an outer BCH code must catch; with girth-6 IRA
+    /// codes at N = 64800 they are rare.
+    std::uint64_t undetected_frame_errors = 0;
+    double avg_iterations = 0.0;
+
+    double ber(std::uint64_t info_bits_per_frame) const {
+        const auto total = frames * info_bits_per_frame;
+        return total ? static_cast<double>(bit_errors) / static_cast<double>(total) : 0.0;
+    }
+    double fer() const {
+        return frames ? static_cast<double>(frame_errors) / static_cast<double>(frames) : 0.0;
+    }
+};
+
+/// Simulation configuration shared by all points of a sweep.
+struct SimConfig {
+    Modulation modulation = Modulation::Bpsk;
+    std::uint64_t seed = 1;
+    bool random_data = true;  ///< false → all-zero codeword (decoder-symmetric)
+    SimLimits limits;
+};
+
+/// Simulates one Eb/N0 point.
+BerPoint simulate_point(const code::Dvbs2Code& code, const DecodeFn& decode, double ebn0_db,
+                        const SimConfig& cfg);
+
+/// Simulates a sweep of points (independent RNG streams per point).
+std::vector<BerPoint> simulate_sweep(const code::Dvbs2Code& code, const DecodeFn& decode,
+                                     const std::vector<double>& ebn0_db, const SimConfig& cfg);
+
+/// Finds the smallest Eb/N0 (dB, within `step_db`) at which the measured BER
+/// drops below `target_ber`, scanning upward from `start_db`. Used for
+/// threshold/gap measurements (E4, E7, E8).
+double find_threshold_db(const code::Dvbs2Code& code, const DecodeFn& decode, double target_ber,
+                         double start_db, double step_db, const SimConfig& cfg,
+                         double max_db = 12.0);
+
+}  // namespace dvbs2::comm

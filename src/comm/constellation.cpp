@@ -1,0 +1,140 @@
+#include "comm/constellation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dvbs2::comm {
+
+namespace {
+
+bool is_power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Binary-reflected Gray code.
+std::uint32_t gray(std::uint32_t v) { return v ^ (v >> 1); }
+
+}  // namespace
+
+Constellation::Constellation(std::string name, std::vector<Point> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+    DVBS2_REQUIRE(is_power_of_two(points_.size()) && points_.size() >= 2,
+                  "constellation size must be a power of two >= 2");
+    while ((std::size_t{1} << bits_) < points_.size()) ++bits_;
+    // Normalize to unit average symbol energy.
+    double energy = 0.0;
+    for (const auto& p : points_) energy += p.i * p.i + p.q * p.q;
+    energy /= static_cast<double>(points_.size());
+    DVBS2_REQUIRE(energy > 0.0, "degenerate constellation");
+    const double scale = 1.0 / std::sqrt(energy);
+    for (auto& p : points_) {
+        p.i *= scale;
+        p.q *= scale;
+    }
+}
+
+Constellation::Point Constellation::map(const util::BitVec& bits, std::size_t offset) const {
+    std::size_t v = 0;
+    for (int b = 0; b < bits_; ++b)
+        v = (v << 1) | (bits.get(offset + static_cast<std::size_t>(b)) ? 1u : 0u);
+    return points_[v];
+}
+
+void Constellation::demap_maxlog(double yi, double yq, double sigma, double* llr_out) const {
+    DVBS2_REQUIRE(sigma > 0.0, "sigma must be positive");
+    const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+    double min0[8], min1[8];
+    for (int b = 0; b < bits_; ++b) min0[b] = min1[b] = 1e300;
+    for (std::size_t v = 0; v < points_.size(); ++v) {
+        const Point& p = points_[v];
+        const double d2 = (yi - p.i) * (yi - p.i) + (yq - p.q) * (yq - p.q);
+        for (int b = 0; b < bits_; ++b) {
+            const bool bit = ((v >> (bits_ - 1 - b)) & 1u) != 0;
+            double& slot = bit ? min1[b] : min0[b];
+            if (d2 < slot) slot = d2;
+        }
+    }
+    for (int b = 0; b < bits_; ++b) llr_out[b] = (min1[b] - min0[b]) * inv2s2;
+}
+
+double Constellation::min_distance() const {
+    double best = 1e300;
+    for (std::size_t a = 0; a < points_.size(); ++a) {
+        for (std::size_t b = a + 1; b < points_.size(); ++b) {
+            const double di = points_[a].i - points_[b].i;
+            const double dq = points_[a].q - points_[b].q;
+            best = std::min(best, std::sqrt(di * di + dq * dq));
+        }
+    }
+    return best;
+}
+
+Constellation Constellation::psk8() {
+    std::vector<Point> pts(8);
+    for (std::uint32_t k = 0; k < 8; ++k) {
+        // Gray mapping: angle slot k carries value gray(k), so the values
+        // of adjacent slots differ in exactly one bit (placing value v at
+        // slot gray(v) — the tempting shortcut — does NOT have this
+        // property; caught by Psk8Gray.AdjacentAnglesDifferInOneBit).
+        const double ang = 2.0 * M_PI * k / 8.0;
+        pts[gray(k)] = {std::cos(ang), std::sin(ang)};
+    }
+    return Constellation("8PSK", std::move(pts));
+}
+
+Constellation Constellation::apsk16(double gamma) {
+    DVBS2_REQUIRE(gamma > 1.0, "16APSK ring ratio must exceed 1");
+    // 4+12 structure (EN 302 307 §5.4.3): values 0..11 on the outer ring
+    // (radius γ), 12..15 on the inner ring (radius 1). Within each ring the
+    // value order follows the angle slots (structured approximation of the
+    // standard's bit map; the ring split carries the dominant reliability
+    // difference).
+    std::vector<Point> pts(16);
+    for (int k = 0; k < 12; ++k) {
+        const double ang = M_PI / 12.0 + 2.0 * M_PI * k / 12.0;
+        pts[static_cast<std::size_t>(k)] = {gamma * std::cos(ang), gamma * std::sin(ang)};
+    }
+    for (int k = 0; k < 4; ++k) {
+        const double ang = M_PI / 4.0 + 2.0 * M_PI * k / 4.0;
+        pts[static_cast<std::size_t>(12 + k)] = {std::cos(ang), std::sin(ang)};
+    }
+    return Constellation("16APSK", std::move(pts));
+}
+
+Constellation Constellation::apsk32(double gamma1, double gamma2) {
+    DVBS2_REQUIRE(gamma2 > gamma1 && gamma1 > 1.0, "32APSK needs 1 < gamma1 < gamma2");
+    // 4+12+16 structure (§5.4.4): values 0..15 outer ring (γ2), 16..27
+    // middle ring (γ1), 28..31 inner ring (1).
+    std::vector<Point> pts(32);
+    for (int k = 0; k < 16; ++k) {
+        const double ang = 2.0 * M_PI * k / 16.0;
+        pts[static_cast<std::size_t>(k)] = {gamma2 * std::cos(ang), gamma2 * std::sin(ang)};
+    }
+    for (int k = 0; k < 12; ++k) {
+        const double ang = M_PI / 12.0 + 2.0 * M_PI * k / 12.0;
+        pts[static_cast<std::size_t>(16 + k)] = {gamma1 * std::cos(ang), gamma1 * std::sin(ang)};
+    }
+    for (int k = 0; k < 4; ++k) {
+        const double ang = M_PI / 4.0 + 2.0 * M_PI * k / 4.0;
+        pts[static_cast<std::size_t>(28 + k)] = {std::cos(ang), std::sin(ang)};
+    }
+    return Constellation("32APSK", std::move(pts));
+}
+
+std::vector<double> transmit_constellation(const Constellation& c, const util::BitVec& bits,
+                                           double sigma, util::Xoshiro256pp& rng) {
+    const int bps = c.bits_per_symbol();
+    DVBS2_REQUIRE(bits.size() % static_cast<std::size_t>(bps) == 0,
+                  "bit count must be a multiple of bits-per-symbol");
+    std::vector<double> llr(bits.size());
+    double out[8];
+    for (std::size_t s = 0; s < bits.size(); s += static_cast<std::size_t>(bps)) {
+        const auto tx = c.map(bits, s);
+        const double yi = tx.i + sigma * rng.gaussian();
+        const double yq = tx.q + sigma * rng.gaussian();
+        c.demap_maxlog(yi, yq, sigma, out);
+        for (int b = 0; b < bps; ++b) llr[s + static_cast<std::size_t>(b)] = out[b];
+    }
+    return llr;
+}
+
+}  // namespace dvbs2::comm

@@ -1,0 +1,74 @@
+// Generic 2-D constellations with max-log demapping — the DVB-S2 modes
+// beyond QPSK: 8PSK, 16APSK (4+12 rings) and 32APSK (4+12+16 rings), with
+// the standard's rate-dependent ring-radius ratios.
+//
+// The decoder IP is modulation-agnostic (it consumes LLRs); these classes
+// provide the channel front-end for the higher spectral efficiencies the
+// DVB-S2 system pairs the LDPC codes with.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/prng.hpp"
+
+namespace dvbs2::comm {
+
+/// A unit-average-energy complex constellation with an explicit bit map.
+class Constellation {
+public:
+    struct Point {
+        double i = 0.0;
+        double q = 0.0;
+    };
+
+    /// `points[v]` is the symbol transmitted for bit-group value v (first
+    /// bit = MSB). The constructor normalizes to unit average energy and
+    /// validates |points| is a power of two.
+    Constellation(std::string name, std::vector<Point> points);
+
+    const std::string& name() const noexcept { return name_; }
+    int bits_per_symbol() const noexcept { return bits_; }
+    std::size_t size() const noexcept { return points_.size(); }
+    const Point& point(std::size_t value) const noexcept { return points_[value]; }
+
+    /// Maps a bit group (MSB-first, `bits_per_symbol` bits starting at
+    /// `offset`) to its symbol.
+    Point map(const util::BitVec& bits, std::size_t offset) const;
+
+    /// Max-log LLRs of one received symbol: llr[b] =
+    /// (min_{s: bit b=1} |y−s|² − min_{s: bit b=0} |y−s|²) / (2σ²).
+    void demap_maxlog(double yi, double yq, double sigma, double* llr_out) const;
+
+    /// Minimum distance between distinct constellation points (after
+    /// normalization) — used by tests and link budgeting.
+    double min_distance() const;
+
+    // --- DVB-S2 constellations ---
+
+    /// Gray-mapped 8PSK (EN 302 307 §5.4.2).
+    static Constellation psk8();
+
+    /// 16APSK, 4+12 rings with radius ratio `gamma` (§5.4.3; e.g. γ = 3.15
+    /// for rate 2/3, 2.85 for 3/4, 2.57 for 9/10 at unit outer ring).
+    static Constellation apsk16(double gamma = 3.15);
+
+    /// 32APSK, 4+12+16 rings with ratios γ1 (middle/inner) and γ2
+    /// (outer/inner) (§5.4.4; e.g. γ1 = 2.84, γ2 = 5.27 for rate 3/4).
+    static Constellation apsk32(double gamma1 = 2.84, double gamma2 = 5.27);
+
+private:
+    std::string name_;
+    int bits_ = 0;
+    std::vector<Point> points_;
+};
+
+/// Symbol-level AWGN transmission with a generic constellation: modulates
+/// `bits` (length must be a multiple of bits_per_symbol), adds noise of
+/// stddev `sigma` per real dimension, demaps max-log LLRs.
+std::vector<double> transmit_constellation(const Constellation& c, const util::BitVec& bits,
+                                           double sigma, util::Xoshiro256pp& rng);
+
+}  // namespace dvbs2::comm

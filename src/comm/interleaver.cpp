@@ -1,0 +1,52 @@
+#include "comm/interleaver.hpp"
+
+#include "util/error.hpp"
+
+namespace dvbs2::comm {
+
+BlockInterleaver::BlockInterleaver(int frame_bits, int columns, std::vector<int> twist)
+    : frame_bits_(frame_bits), columns_(columns), twist_(std::move(twist)) {
+    DVBS2_REQUIRE(columns >= 1, "need at least one column");
+    DVBS2_REQUIRE(frame_bits > 0 && frame_bits % columns == 0,
+                  "frame length must be a multiple of the column count");
+    rows_ = frame_bits / columns;
+    if (twist_.empty()) twist_.assign(static_cast<std::size_t>(columns), 0);
+    DVBS2_REQUIRE(static_cast<int>(twist_.size()) == columns, "one twist per column");
+    for (auto& t : twist_) t = ((t % rows_) + rows_) % rows_;
+}
+
+int BlockInterleaver::map_index(int i) const noexcept {
+    // Input bit i is written into column c = i / rows at row r = i % rows,
+    // then twisted down by twist[c]; readout is row-major.
+    const int c = i / rows_;
+    const int r = (i % rows_ + twist_[static_cast<std::size_t>(c)]) % rows_;
+    return r * columns_ + c;
+}
+
+util::BitVec BlockInterleaver::interleave(const util::BitVec& in) const {
+    DVBS2_REQUIRE(in.size() == static_cast<std::size_t>(frame_bits_), "frame length mismatch");
+    util::BitVec out(in.size());
+    for (int i = 0; i < frame_bits_; ++i)
+        if (in.get(static_cast<std::size_t>(i)))
+            out.set(static_cast<std::size_t>(map_index(i)), true);
+    return out;
+}
+
+util::BitVec BlockInterleaver::deinterleave(const util::BitVec& in) const {
+    DVBS2_REQUIRE(in.size() == static_cast<std::size_t>(frame_bits_), "frame length mismatch");
+    util::BitVec out(in.size());
+    for (int i = 0; i < frame_bits_; ++i)
+        if (in.get(static_cast<std::size_t>(map_index(i))))
+            out.set(static_cast<std::size_t>(i), true);
+    return out;
+}
+
+std::vector<double> BlockInterleaver::deinterleave(const std::vector<double>& in) const {
+    DVBS2_REQUIRE(in.size() == static_cast<std::size_t>(frame_bits_), "frame length mismatch");
+    std::vector<double> out(in.size());
+    for (int i = 0; i < frame_bits_; ++i)
+        out[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(map_index(i))];
+    return out;
+}
+
+}  // namespace dvbs2::comm

@@ -1,0 +1,53 @@
+// DVB-S2 block bit interleaver (EN 302 307 §5.3.3).
+//
+// For 8PSK (and higher orders) the standard interleaves the FECFRAME
+// serially column-wise into a rows×columns block (columns = bits per
+// symbol) and reads it out row-wise, with a column-twist for some modes.
+// This spreads each LDPC codeword bit across constellation bit positions of
+// different reliability. BPSK/QPSK frames are not interleaved.
+//
+// The paper's decoder sits after the deinterleaver, so the interleaver is a
+// chain substrate (used by the 8PSK path of the examples), not part of the
+// reproduced IP.
+#pragma once
+
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace dvbs2::comm {
+
+/// Block interleaver: `columns` columns of `frame_bits / columns` rows.
+/// Writing is column by column (column c gets bits c·rows .. c·rows+rows−1),
+/// reading is row by row; `twist[c]` rotates column c downward (the
+/// standard's column twist, e.g. {0,1,2} isn't used for 8PSK — pass zeros
+/// for the plain §5.3.3 interleaver).
+class BlockInterleaver {
+public:
+    BlockInterleaver(int frame_bits, int columns, std::vector<int> twist = {});
+
+    int frame_bits() const noexcept { return frame_bits_; }
+    int columns() const noexcept { return columns_; }
+    int rows() const noexcept { return rows_; }
+
+    /// Interleaves (TX direction).
+    util::BitVec interleave(const util::BitVec& in) const;
+
+    /// Deinterleaves (RX direction) — exact inverse of interleave.
+    util::BitVec deinterleave(const util::BitVec& in) const;
+
+    /// Deinterleaves soft values (channel LLRs) — what the decoder input
+    /// stage does.
+    std::vector<double> deinterleave(const std::vector<double>& in) const;
+
+private:
+    /// Output position of input bit i under interleaving.
+    int map_index(int i) const noexcept;
+
+    int frame_bits_;
+    int columns_;
+    int rows_;
+    std::vector<int> twist_;
+};
+
+}  // namespace dvbs2::comm

@@ -1,0 +1,140 @@
+#include "comm/modem.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace dvbs2::comm {
+
+int bits_per_symbol(Modulation mod) {
+    switch (mod) {
+        case Modulation::Bpsk: return 1;
+        case Modulation::Qpsk: return 2;
+        case Modulation::Psk8: return 3;
+    }
+    return 1;
+}
+
+double noise_sigma(double ebn0_db, double code_rate, Modulation mod) {
+    DVBS2_REQUIRE(code_rate > 0.0 && code_rate < 1.0, "code rate must be in (0,1)");
+    const double esn0 = util::db_to_linear(ebn0_db) * code_rate * bits_per_symbol(mod);
+    // Es = 1 per complex symbol. For BPSK the symbol lives in one real
+    // dimension with amplitude 1; for QPSK each real dimension carries
+    // amplitude 1/√2; for 8PSK the unit circle. In all cases N0 = Es/(Es/N0)
+    // and σ² = N0/2 per real dimension.
+    return std::sqrt(1.0 / (2.0 * esn0));
+}
+
+namespace {
+
+/// Per-dimension amplitude of each transmitted bit (BPSK/QPSK only).
+double bit_amplitude(Modulation mod) {
+    return mod == Modulation::Bpsk ? 1.0 : 1.0 / std::sqrt(2.0);
+}
+
+/// Gray-mapped 8PSK: bit triple value v (b0 MSB) → constellation index k,
+/// point = e^{j·2πk/8}. kGray8 is the *inverse* binary-reflected Gray code
+/// (angle slot k carries value gray(k)), which is what makes adjacent
+/// points differ in exactly one bit.
+constexpr std::array<int, 8> kGray8 = {0, 1, 3, 2, 7, 6, 4, 5};
+
+struct Point {
+    double i;
+    double q;
+};
+
+std::array<Point, 8> make_psk8_points() {
+    std::array<Point, 8> pts{};
+    for (int k = 0; k < 8; ++k) {
+        const double ang = 2.0 * M_PI * k / 8.0;
+        pts[static_cast<std::size_t>(k)] = {std::cos(ang), std::sin(ang)};
+    }
+    return pts;
+}
+
+}  // namespace
+
+std::vector<double> AwgnModem::transmit(const util::BitVec& bits, double sigma) {
+    DVBS2_REQUIRE(sigma > 0.0, "sigma must be positive");
+    std::vector<double> llr(bits.size());
+
+    if (mod_ == Modulation::Psk8) {
+        DVBS2_REQUIRE(bits.size() % 3 == 0, "8PSK needs a multiple of 3 bits");
+        static const std::array<Point, 8> pts = make_psk8_points();
+        const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+        for (std::size_t s = 0; s < bits.size(); s += 3) {
+            int v = 0;
+            for (int b = 0; b < 3; ++b)
+                v = (v << 1) | (bits.get(s + static_cast<std::size_t>(b)) ? 1 : 0);
+            const Point& tx = pts[static_cast<std::size_t>(kGray8[static_cast<std::size_t>(v)])];
+            const double yi = tx.i + sigma * rng_.gaussian();
+            const double yq = tx.q + sigma * rng_.gaussian();
+            // Max-log demap: LLR_b = (min_{b=1} d² − min_{b=0} d²) / (2σ²).
+            double min0[3] = {1e300, 1e300, 1e300};
+            double min1[3] = {1e300, 1e300, 1e300};
+            for (int u = 0; u < 8; ++u) {
+                const Point& p = pts[static_cast<std::size_t>(kGray8[static_cast<std::size_t>(u)])];
+                const double d2 = (yi - p.i) * (yi - p.i) + (yq - p.q) * (yq - p.q);
+                for (int b = 0; b < 3; ++b) {
+                    const bool bit = ((u >> (2 - b)) & 1) != 0;
+                    double& slot = bit ? min1[b] : min0[b];
+                    if (d2 < slot) slot = d2;
+                }
+            }
+            for (int b = 0; b < 3; ++b)
+                llr[s + static_cast<std::size_t>(b)] = (min1[b] - min0[b]) * inv2s2;
+        }
+        return llr;
+    }
+
+    const double a = bit_amplitude(mod_);
+    const double gain = 2.0 * a / (sigma * sigma);  // exact AWGN LLR scaling
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const double tx = bits.get(i) ? -a : a;  // bit 0 → +a, bit 1 → −a
+        const double y = tx + sigma * rng_.gaussian();
+        llr[i] = gain * y;
+    }
+    return llr;
+}
+
+std::vector<double> AwgnModem::transmit_noiseless(const util::BitVec& bits,
+                                                  double sigma_for_gain) {
+    DVBS2_REQUIRE(sigma_for_gain > 0.0, "sigma must be positive");
+    if (mod_ == Modulation::Psk8) {
+        // Noiseless 8PSK: demap the clean constellation point directly; the
+        // max-log LLR magnitude is the distance gap to the nearest
+        // competing point.
+        static const std::array<Point, 8> pts = make_psk8_points();
+        std::vector<double> llr(bits.size());
+        const double inv2s2 = 1.0 / (2.0 * sigma_for_gain * sigma_for_gain);
+        for (std::size_t s = 0; s < bits.size(); s += 3) {
+            int v = 0;
+            for (int b = 0; b < 3; ++b)
+                v = (v << 1) | (bits.get(s + static_cast<std::size_t>(b)) ? 1 : 0);
+            const Point& y = pts[static_cast<std::size_t>(kGray8[static_cast<std::size_t>(v)])];
+            double min0[3] = {1e300, 1e300, 1e300};
+            double min1[3] = {1e300, 1e300, 1e300};
+            for (int u = 0; u < 8; ++u) {
+                const Point& p = pts[static_cast<std::size_t>(kGray8[static_cast<std::size_t>(u)])];
+                const double d2 = (y.i - p.i) * (y.i - p.i) + (y.q - p.q) * (y.q - p.q);
+                for (int b = 0; b < 3; ++b) {
+                    const bool bit = ((u >> (2 - b)) & 1) != 0;
+                    double& slot = bit ? min1[b] : min0[b];
+                    if (d2 < slot) slot = d2;
+                }
+            }
+            for (int b = 0; b < 3; ++b)
+                llr[s + static_cast<std::size_t>(b)] = (min1[b] - min0[b]) * inv2s2;
+        }
+        return llr;
+    }
+    const double a = bit_amplitude(mod_);
+    const double gain = 2.0 * a / (sigma_for_gain * sigma_for_gain);
+    std::vector<double> llr(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) llr[i] = bits.get(i) ? -gain * a : gain * a;
+    return llr;
+}
+
+}  // namespace dvbs2::comm

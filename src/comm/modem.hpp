@@ -1,0 +1,51 @@
+// Modulation, AWGN channel and LLR demapping.
+//
+// The DVB-S2 LDPC evaluation chain of the paper is: encode → map → AWGN →
+// channel LLRs → iterative decoder. BPSK and QPSK are provided (for a
+// Gray-mapped QPSK over AWGN the two bit LLRs are independent per dimension,
+// so both behave identically per information bit at equal Eb/N0 — QPSK is
+// included because DVB-S2 transmits QPSK and the examples use it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/prng.hpp"
+
+namespace dvbs2::comm {
+
+enum class Modulation { Bpsk, Qpsk, Psk8 };
+
+/// Bits carried per complex channel symbol.
+int bits_per_symbol(Modulation mod);
+
+/// Noise variance per real dimension for a given Eb/N0 (dB), code rate and
+/// modulation, with unit average symbol energy Es = 1:
+///   Es/N0 = rate · bits_per_symbol · Eb/N0,  σ² = N0/2 = 1/(2·Es/N0·...)
+/// normalized per real dimension carrying amplitude a (see modem.cpp).
+double noise_sigma(double ebn0_db, double code_rate, Modulation mod);
+
+/// End-to-end mapper + AWGN + demapper. Stateless apart from the RNG.
+class AwgnModem {
+public:
+    AwgnModem(Modulation mod, std::uint64_t seed) : mod_(mod), rng_(seed) {}
+
+    /// Transmits `bits` over AWGN at noise level `sigma` (per real dimension)
+    /// and returns the channel LLRs, one per transmitted bit, with the
+    /// convention LLR = log P(bit=0|y) / P(bit=1|y) (positive favors 0).
+    /// BPSK/QPSK use the exact per-dimension demapper; 8PSK (Gray-mapped,
+    /// the DVB-S2 constellation) uses the max-log demapper. For 8PSK the
+    /// bit count must be a multiple of 3 (64800 and 16200 both are).
+    std::vector<double> transmit(const util::BitVec& bits, double sigma);
+
+    /// As `transmit`, but models a noiseless channel (LLRs saturated by the
+    /// demapper gain); handy for decoder smoke tests.
+    std::vector<double> transmit_noiseless(const util::BitVec& bits, double sigma_for_gain);
+
+private:
+    Modulation mod_;
+    util::Xoshiro256pp rng_;
+};
+
+}  // namespace dvbs2::comm

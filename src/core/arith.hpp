@@ -1,0 +1,119 @@
+// Arithmetic back-ends for the message-passing decoder.
+//
+// One schedule implementation (mp_decoder.hpp) is instantiated with either
+// floating-point or quantized fixed-point arithmetic. The fixed-point
+// back-end performs exactly the operations a hardware functional unit does
+// (integer saturating adds, correction-LUT boxplus), which is what makes the
+// algorithmic decoder and the cycle-driven architecture model bit-exact.
+#pragma once
+
+#include <cmath>
+
+#include "core/types.hpp"
+#include "quant/fixed.hpp"
+#include "util/math.hpp"
+
+namespace dvbs2::core {
+
+/// Floating-point arithmetic: `Value` is a clamped double LLR.
+class FloatArith {
+public:
+    using Value = double;
+    using Wide = double;
+
+    FloatArith(CheckRule rule, double normalization, double offset)
+        : rule_(rule), normalization_(normalization), offset_(offset) {}
+
+    Value zero() const noexcept { return 0.0; }
+    Value from_llr(double llr) const noexcept { return util::clamp_llr(llr); }
+    Wide to_wide(Value v) const noexcept { return v; }
+    Value narrow(Wide w) const noexcept { return util::clamp_llr(w); }
+    bool is_negative(Wide w) const noexcept { return w < 0.0; }
+
+    /// Pairwise check-node combine (associative core of the rule).
+    Value combine(Value a, Value b) const noexcept {
+        return rule_ == CheckRule::Exact ? util::boxplus_exact(a, b)
+                                         : util::boxplus_minsum(a, b);
+    }
+
+    /// Post-processing applied once per produced check-node output.
+    Value finalize(Value v) const noexcept {
+        switch (rule_) {
+            case CheckRule::NormalizedMinSum: return v * normalization_;
+            case CheckRule::OffsetMinSum: {
+                const double mag = std::fabs(v) - offset_;
+                return mag <= 0.0 ? 0.0 : std::copysign(mag, v);
+            }
+            default: return v;
+        }
+    }
+
+private:
+    CheckRule rule_;
+    double normalization_;
+    double offset_;
+};
+
+/// Fixed-point arithmetic: `Value` is a raw quantized LLR, `Wide` an
+/// unsaturated 32-bit accumulator.
+class FixedArith {
+public:
+    using Value = quant::QLLR;
+    using Wide = quant::QLLR;
+
+    /// `table` must outlive the arithmetic object; pass nullptr for min-sum
+    /// rules (the LUT is only needed for CheckRule::Exact).
+    FixedArith(CheckRule rule, const quant::QuantSpec& spec, const quant::BoxplusTable* table,
+               double normalization, double offset)
+        : rule_(rule),
+          spec_(spec),
+          table_(table),
+          // NormalizedMinSum in hardware is a shift-add: we quantize the
+          // factor to a multiple of 1/16 and apply it as (v*num) >> 4.
+          norm_num_(static_cast<quant::QLLR>(std::lround(normalization * 16.0))),
+          offset_raw_(quant::quantize(offset, spec)) {
+        if (rule == CheckRule::Exact) {
+            DVBS2_REQUIRE(table != nullptr, "Exact fixed rule needs a BoxplusTable");
+            DVBS2_REQUIRE(table->spec() == spec, "BoxplusTable spec mismatch");
+        }
+    }
+
+    const quant::QuantSpec& spec() const noexcept { return spec_; }
+
+    Value zero() const noexcept { return 0; }
+    Value from_llr(double llr) const noexcept { return quant::quantize(llr, spec_); }
+    Wide to_wide(Value v) const noexcept { return v; }
+    Value narrow(Wide w) const noexcept { return quant::saturate(w, spec_); }
+    bool is_negative(Wide w) const noexcept { return w < 0; }
+
+    Value combine(Value a, Value b) const noexcept {
+        return rule_ == CheckRule::Exact ? table_->boxplus(a, b)
+                                         : quant::boxplus_minsum_raw(a, b);
+    }
+
+    Value finalize(Value v) const noexcept {
+        switch (rule_) {
+            case CheckRule::NormalizedMinSum: {
+                // Round-to-nearest fixed scale; symmetric for ±v.
+                const Wide scaled = v * norm_num_;
+                const Wide rounded = scaled >= 0 ? (scaled + 8) >> 4 : -((-scaled + 8) >> 4);
+                return quant::saturate(rounded, spec_);
+            }
+            case CheckRule::OffsetMinSum: {
+                const Value mag = (v < 0 ? -v : v) - offset_raw_;
+                if (mag <= 0) return 0;
+                return v < 0 ? -mag : mag;
+            }
+            default: return v;
+        }
+    }
+
+private:
+    CheckRule rule_;
+    quant::QuantSpec spec_;
+    const quant::BoxplusTable* table_;
+    quant::QLLR norm_num_;
+    quant::QLLR offset_raw_;
+};
+
+}  // namespace dvbs2::core

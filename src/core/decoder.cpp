@@ -1,0 +1,118 @@
+#include "core/decoder.hpp"
+
+#include <cmath>
+
+#include "core/arith.hpp"
+#include "core/mp_decoder.hpp"
+
+namespace dvbs2::core {
+
+const char* to_string(Schedule s) {
+    switch (s) {
+        case Schedule::TwoPhase: return "two-phase";
+        case Schedule::ZigzagForward: return "zigzag-forward";
+        case Schedule::ZigzagSegmented: return "zigzag-segmented";
+        case Schedule::ZigzagMap: return "zigzag-map";
+        case Schedule::Layered: return "layered";
+    }
+    return "?";
+}
+
+const char* to_string(CheckRule r) {
+    switch (r) {
+        case CheckRule::Exact: return "exact";
+        case CheckRule::MinSum: return "min-sum";
+        case CheckRule::NormalizedMinSum: return "normalized-min-sum";
+        case CheckRule::OffsetMinSum: return "offset-min-sum";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------- Decoder
+
+struct Decoder::Impl {
+    Impl(const code::Dvbs2Code& code, const DecoderConfig& cfg)
+        : config(cfg), engine(code, cfg, FloatArith(cfg.rule, cfg.normalization, cfg.offset)) {}
+
+    DecoderConfig config;
+    MpDecoder<FloatArith> engine;
+};
+
+Decoder::Decoder(const code::Dvbs2Code& code, const DecoderConfig& cfg)
+    : impl_(std::make_unique<Impl>(code, cfg)) {}
+Decoder::~Decoder() = default;
+Decoder::Decoder(Decoder&&) noexcept = default;
+Decoder& Decoder::operator=(Decoder&&) noexcept = default;
+
+DecodeResult Decoder::decode(const std::vector<double>& llr) {
+    std::vector<double> clamped(llr.size());
+    for (std::size_t i = 0; i < llr.size(); ++i) {
+        DVBS2_REQUIRE(std::isfinite(llr[i]),
+                      "non-finite channel LLR at index " + std::to_string(i));
+        clamped[i] = util::clamp_llr(llr[i]);
+    }
+    return impl_->engine.decode_values(clamped);
+}
+
+void Decoder::set_observer(std::function<void(const IterationTrace&)> observer) {
+    impl_->engine.set_observer(std::move(observer));
+}
+
+const DecoderConfig& Decoder::config() const noexcept { return impl_->config; }
+
+// ----------------------------------------------------------- FixedDecoder
+
+struct FixedDecoder::Impl {
+    Impl(const code::Dvbs2Code& code, const DecoderConfig& cfg, const quant::QuantSpec& sp)
+        : config(cfg),
+          spec(sp),
+          table(sp),
+          engine(code, cfg,
+                 FixedArith(cfg.rule, sp, cfg.rule == CheckRule::Exact ? &table : nullptr,
+                            cfg.normalization, cfg.offset)) {}
+
+    DecoderConfig config;
+    quant::QuantSpec spec;
+    quant::BoxplusTable table;
+    MpDecoder<FixedArith> engine;
+};
+
+FixedDecoder::FixedDecoder(const code::Dvbs2Code& code, const DecoderConfig& cfg,
+                           const quant::QuantSpec& spec)
+    : impl_(std::make_unique<Impl>(code, cfg, spec)) {}
+FixedDecoder::~FixedDecoder() = default;
+FixedDecoder::FixedDecoder(FixedDecoder&&) noexcept = default;
+FixedDecoder& FixedDecoder::operator=(FixedDecoder&&) noexcept = default;
+
+DecodeResult FixedDecoder::decode(const std::vector<double>& llr) {
+    std::vector<quant::QLLR> q(llr.size());
+    for (std::size_t i = 0; i < llr.size(); ++i) {
+        DVBS2_REQUIRE(std::isfinite(llr[i]),
+                      "non-finite channel LLR at index " + std::to_string(i));
+        q[i] = quant::quantize(llr[i], impl_->spec);
+    }
+    return impl_->engine.decode_values(q);
+}
+
+DecodeResult FixedDecoder::decode_raw(const std::vector<quant::QLLR>& qllr) {
+    return impl_->engine.decode_values(qllr);
+}
+
+void FixedDecoder::set_cn_order(std::vector<int> order) {
+    impl_->engine.set_cn_order(std::move(order));
+}
+
+void FixedDecoder::set_observer(std::function<void(const IterationTrace&)> observer) {
+    impl_->engine.set_observer(std::move(observer));
+}
+
+std::vector<quant::QLLR> FixedDecoder::run_and_dump_c2v(const std::vector<quant::QLLR>& qllr,
+                                                        int iters) {
+    impl_->engine.run_iterations(qllr, iters);
+    return impl_->engine.c2v_messages();
+}
+
+const quant::QuantSpec& FixedDecoder::spec() const noexcept { return impl_->spec; }
+const DecoderConfig& FixedDecoder::config() const noexcept { return impl_->config; }
+
+}  // namespace dvbs2::core

@@ -1,0 +1,80 @@
+// Public decoder API — the paper's primary contribution.
+//
+// `Decoder` is the floating-point reference (infinite-precision messages up
+// to the ±30 clamp); `FixedDecoder` is the bit-accurate model of the
+// hardware datapath with 5/6-bit quantized messages. Both run any of the
+// four schedules of core/types.hpp; the paper's IP core corresponds to
+// FixedDecoder{ZigzagSegmented, Exact, 30 iterations, 6-bit}.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "code/tanner.hpp"
+#include "core/types.hpp"
+#include "quant/fixed.hpp"
+
+namespace dvbs2::core {
+
+/// Floating-point belief-propagation decoder.
+class Decoder {
+public:
+    /// The code object must outlive the decoder.
+    Decoder(const code::Dvbs2Code& code, const DecoderConfig& cfg);
+    ~Decoder();
+    Decoder(Decoder&&) noexcept;
+    Decoder& operator=(Decoder&&) noexcept;
+
+    /// Decodes channel LLRs (size N, positive favors bit 0).
+    DecodeResult decode(const std::vector<double>& llr);
+
+    /// Installs a per-iteration diagnostics observer (see IterationTrace);
+    /// pass an empty function to disable.
+    void set_observer(std::function<void(const IterationTrace&)> observer);
+
+    const DecoderConfig& config() const noexcept;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Bit-accurate fixed-point decoder (the hardware datapath model).
+class FixedDecoder {
+public:
+    /// The code object must outlive the decoder. `spec` selects the message
+    /// quantization (quant::kQuant6 reproduces the paper's design point).
+    FixedDecoder(const code::Dvbs2Code& code, const DecoderConfig& cfg,
+                 const quant::QuantSpec& spec = quant::kQuant6);
+    ~FixedDecoder();
+    FixedDecoder(FixedDecoder&&) noexcept;
+    FixedDecoder& operator=(FixedDecoder&&) noexcept;
+
+    /// Quantizes the channel LLRs and decodes.
+    DecodeResult decode(const std::vector<double>& llr);
+
+    /// Decodes from already-quantized channel values (size N).
+    DecodeResult decode_raw(const std::vector<quant::QLLR>& qllr);
+
+    /// Sets the per-check-node information-edge processing order (see
+    /// MpDecoder::set_cn_order); used by the architecture equivalence tests.
+    void set_cn_order(std::vector<int> order);
+
+    /// Installs a per-iteration diagnostics observer (see IterationTrace).
+    void set_observer(std::function<void(const IterationTrace&)> observer);
+
+    /// Runs exactly `iters` iterations on quantized channel values and
+    /// returns the resulting check-to-variable message state (for bit-exact
+    /// comparison against the architecture model).
+    std::vector<quant::QLLR> run_and_dump_c2v(const std::vector<quant::QLLR>& qllr, int iters);
+
+    const quant::QuantSpec& spec() const noexcept;
+    const DecoderConfig& config() const noexcept;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dvbs2::core

@@ -1,0 +1,476 @@
+// Message-passing decoder engine, templated over the arithmetic back-end.
+//
+// Implements the four schedules of core/types.hpp on the IRA Tanner graph.
+// The check-node input sequence convention is fixed and shared with the
+// architecture model (arch/rtl_model): first the information-edge messages
+// in slot order (optionally permuted by set_cn_order — the order in which
+// the hardware schedule delivers them), then the left (forward zigzag)
+// parity input, then the right (backward zigzag) parity input. Extrinsic
+// outputs are computed with prefix/suffix combines over exactly this
+// sequence, so a functional-unit model that consumes messages serially in
+// the same order is bit-exact with this reference.
+//
+// Internal header: include via core/decoder.hpp unless you are the
+// architecture model or a test that needs the template directly.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "code/tanner.hpp"
+#include "core/kernels.hpp"
+#include "core/types.hpp"
+#include "util/error.hpp"
+
+namespace dvbs2::core {
+
+/// Maximum check-node total degree we support (DVB-S2 max is 30 for R=9/10).
+inline constexpr int kMaxCheckDegree = 40;
+
+template <class Arith>
+class MpDecoder {
+public:
+    using Value = typename Arith::Value;
+    using Wide = typename Arith::Wide;
+
+    MpDecoder(const code::Dvbs2Code& code, const DecoderConfig& cfg, Arith arith)
+        : code_(&code), cfg_(cfg), arith_(std::move(arith)) {
+        const auto& cp = code.params();
+        DVBS2_REQUIRE(cp.check_deg <= kMaxCheckDegree, "check degree exceeds kMaxCheckDegree");
+        DVBS2_REQUIRE(cfg.max_iterations >= 0, "max_iterations must be non-negative");
+        const auto e = static_cast<std::size_t>(cp.e_in());
+        c2v_.resize(e);
+        v2c_.resize(e);
+        const auto m = static_cast<std::size_t>(cp.m());
+        down_.resize(m);
+        up_.resize(m);  // up_[M-1] unused (p_{M-1} has degree 1), kept zero
+        ch_in_.resize(static_cast<std::size_t>(cp.k));
+        ch_p_.resize(m);
+        post_in_.resize(static_cast<std::size_t>(cp.k));
+        post_p_.resize(m);
+        if (cfg.schedule == Schedule::TwoPhase) {
+            pn_a_.resize(m);
+            pn_c_.resize(m);
+        }
+        if (cfg.schedule == Schedule::ZigzagMap) fwd_d_.resize(m);
+        if (cfg.schedule == Schedule::ZigzagSegmented) {
+            DVBS2_REQUIRE(cp.q >= 1, "segmented schedule needs q >= 1");
+            boundary_snapshot_.resize(static_cast<std::size_t>(cp.parallelism));
+        }
+    }
+
+    /// Sets the per-check-node processing order of the information edges:
+    /// `order` has E_IN entries; for CN c, positions [c·kc, (c+1)·kc) hold a
+    /// permutation of {0..kc−1} giving the slot processed at each position.
+    /// An empty vector restores the canonical (slot) order.
+    void set_cn_order(std::vector<int> order) {
+        if (!order.empty())
+            DVBS2_REQUIRE(order.size() == c2v_.size(), "cn order must cover all E_IN slots");
+        cn_order_ = std::move(order);
+    }
+
+    /// Installs a per-iteration observer (empty function disables tracing).
+    /// Tracing hardens and computes the syndrome every iteration, so it
+    /// costs O(N + E) per iteration even without early stopping.
+    void set_observer(std::function<void(const IterationTrace&)> observer) {
+        observer_ = std::move(observer);
+    }
+
+    /// Decodes from already-converted channel values (size N, decoder domain).
+    DecodeResult decode_values(const std::vector<Value>& ch) {
+        const auto& cp = code_->params();
+        DVBS2_REQUIRE(ch.size() == static_cast<std::size_t>(cp.n), "channel length mismatch");
+        load_channel(ch);
+        reset_state();
+
+        DecodeResult result;
+        int it = 0;
+        bool converged = false;
+        if (cfg_.schedule == Schedule::Layered) init_layered_totals();
+        for (; it < cfg_.max_iterations && !converged; ) {
+            if (cfg_.schedule != Schedule::Layered) variable_phase();
+            check_phase();
+            ++it;
+            const bool need_harden =
+                cfg_.early_stop || it == cfg_.max_iterations || static_cast<bool>(observer_);
+            if (need_harden) {
+                harden(result.codeword);
+                if (observer_) {
+                    const util::BitVec syn = code_->syndrome(result.codeword);
+                    IterationTrace trace;
+                    trace.iteration = it;
+                    trace.unsatisfied_checks = static_cast<int>(syn.count());
+                    trace.mean_abs_posterior = mean_abs_posterior();
+                    observer_(trace);
+                    converged = cfg_.early_stop && trace.unsatisfied_checks == 0;
+                } else {
+                    converged = cfg_.early_stop && code_->is_codeword(result.codeword);
+                }
+            }
+        }
+        if (cfg_.max_iterations == 0) harden(result.codeword);
+        if (!cfg_.early_stop && cfg_.max_iterations > 0)
+            converged = code_->is_codeword(result.codeword);
+        result.iterations = it;
+        result.converged = converged;
+        result.info_bits = util::BitVec(static_cast<std::size_t>(cp.k));
+        for (int v = 0; v < cp.k; ++v)
+            if (result.codeword.get(static_cast<std::size_t>(v)))
+                result.info_bits.set(static_cast<std::size_t>(v), true);
+        return result;
+    }
+
+    /// Read-only access to the message state (used by the bit-exactness
+    /// experiments to compare against the architecture model).
+    const std::vector<Value>& c2v_messages() const noexcept { return c2v_; }
+    const std::vector<Value>& v2c_messages() const noexcept { return v2c_; }
+    const std::vector<Value>& backward_messages() const noexcept { return up_; }
+
+    /// Runs exactly `iters` iterations without early stopping and without
+    /// hardening (for message-level comparisons).
+    void run_iterations(const std::vector<Value>& ch, int iters) {
+        load_channel(ch);
+        reset_state();
+        if (cfg_.schedule == Schedule::Layered) init_layered_totals();
+        for (int it = 0; it < iters; ++it) {
+            if (cfg_.schedule != Schedule::Layered) variable_phase();
+            check_phase();
+        }
+    }
+
+private:
+    void load_channel(const std::vector<Value>& ch) {
+        const auto& cp = code_->params();
+        for (int v = 0; v < cp.k; ++v) ch_in_[static_cast<std::size_t>(v)] = ch[static_cast<std::size_t>(v)];
+        for (int j = 0; j < cp.m(); ++j)
+            ch_p_[static_cast<std::size_t>(j)] = ch[static_cast<std::size_t>(cp.k + j)];
+    }
+
+    void reset_state() {
+        const Value z = arith_.zero();
+        std::fill(c2v_.begin(), c2v_.end(), z);
+        std::fill(v2c_.begin(), v2c_.end(), z);
+        std::fill(down_.begin(), down_.end(), z);
+        std::fill(up_.begin(), up_.end(), z);
+    }
+
+    /// Information-node update (Eq. 4): extrinsic sum with wide accumulation
+    /// and a single saturation per produced message — exactly the serial
+    /// functional-unit datapath.
+    void variable_phase() {
+        const auto& cp = code_->params();
+        for (int v = 0; v < cp.k; ++v) {
+            const int deg = code_->info_degree(v);
+            const long long* edges = code_->info_edges(v);
+            Wide total = arith_.to_wide(ch_in_[static_cast<std::size_t>(v)]);
+            for (int d = 0; d < deg; ++d)
+                total += arith_.to_wide(c2v_[static_cast<std::size_t>(edges[d])]);
+            for (int d = 0; d < deg; ++d) {
+                const auto e = static_cast<std::size_t>(edges[d]);
+                v2c_[e] = arith_.narrow(total - arith_.to_wide(c2v_[e]));
+            }
+        }
+        if (cfg_.schedule == Schedule::TwoPhase) {
+            // Parity nodes are updated like any degree-2 variable node.
+            const int m = cp.m();
+            for (int j = 0; j < m; ++j) {
+                const Wide chp = arith_.to_wide(ch_p_[static_cast<std::size_t>(j)]);
+                const Wide up = j < m - 1 ? arith_.to_wide(up_[static_cast<std::size_t>(j)])
+                                          : Wide(arith_.zero());
+                pn_a_[static_cast<std::size_t>(j)] = arith_.narrow(chp + up);
+                if (j < m - 1)
+                    pn_c_[static_cast<std::size_t>(j)] =
+                        arith_.narrow(chp + arith_.to_wide(down_[static_cast<std::size_t>(j)]));
+            }
+        }
+    }
+
+    void check_phase() {
+        if (cfg_.schedule == Schedule::Layered) {
+            check_phase_layered();
+            return;
+        }
+        begin_posterior();
+        switch (cfg_.schedule) {
+            case Schedule::TwoPhase: check_phase_two_phase(); break;
+            case Schedule::ZigzagForward: check_phase_zigzag(/*segmented=*/false); break;
+            case Schedule::ZigzagSegmented: check_phase_zigzag(/*segmented=*/true); break;
+            case Schedule::ZigzagMap: check_phase_map(); break;
+            case Schedule::Layered: break;  // handled above
+        }
+    }
+
+    /// Prefix/suffix extrinsic computation over the canonical input sequence
+    /// (delegates to the kernel shared with the architecture model).
+    void extrinsics(const Value* ins, int d, Value* outs) const {
+        DVBS2_ASSERT(d >= 2 && d <= kMaxCheckDegree);
+        Value pre[kMaxCheckDegree];
+        Value suf[kMaxCheckDegree];
+        compute_extrinsics(arith_, ins, d, outs, pre, suf);
+    }
+
+    /// Gathers CN c's information-edge inputs (respecting cn_order_) into
+    /// ins[0..kc); returns the slot index processed at each position.
+    int gather_in_edges(int c, Value* ins, int* slots) const {
+        const int kc = code_->check_in_degree();
+        const long long base = static_cast<long long>(c) * kc;
+        for (int t = 0; t < kc; ++t) {
+            const int slot =
+                cn_order_.empty() ? t : cn_order_[static_cast<std::size_t>(base + t)];
+            slots[t] = slot;
+            ins[t] = v2c_[static_cast<std::size_t>(base + slot)];
+        }
+        return kc;
+    }
+
+    void scatter_outputs(int c, const Value* outs, const int* slots, int kc) {
+        const long long base = static_cast<long long>(c) * kc;
+        for (int t = 0; t < kc; ++t) {
+            const auto e = static_cast<std::size_t>(base + slots[t]);
+            const Value msg = arith_.finalize(outs[t]);
+            c2v_[e] = msg;
+            post_in_[static_cast<std::size_t>(code_->edge_variable(static_cast<long long>(e)))] +=
+                arith_.to_wide(msg);
+        }
+    }
+
+    void check_phase_two_phase() {
+        const auto& cp = code_->params();
+        const int m = cp.m();
+        const int kc = code_->check_in_degree();
+        Value ins[kMaxCheckDegree];
+        Value outs[kMaxCheckDegree];
+        int slots[kMaxCheckDegree];
+        for (int j = 0; j < m; ++j) {
+            int d = gather_in_edges(j, ins, slots);
+            const int left_pos = j > 0 ? d : -1;
+            if (j > 0) ins[d++] = pn_c_[static_cast<std::size_t>(j - 1)];
+            const int right_pos = d;
+            ins[d++] = pn_a_[static_cast<std::size_t>(j)];
+            extrinsics(ins, d, outs);
+            scatter_outputs(j, outs, slots, kc);
+            down_[static_cast<std::size_t>(j)] = arith_.finalize(outs[right_pos]);
+            if (j > 0) up_[static_cast<std::size_t>(j - 1)] = arith_.finalize(outs[left_pos]);
+        }
+        finish_parity_posterior();
+    }
+
+    void check_phase_zigzag(bool segmented) {
+        const auto& cp = code_->params();
+        const int m = cp.m();
+        const int q = cp.q;
+        const int kc = code_->check_in_degree();
+        Value ins[kMaxCheckDegree];
+        Value outs[kMaxCheckDegree];
+        int slots[kMaxCheckDegree];
+
+        // Segment boundaries: in the hardware, FU f starts its local chain at
+        // CN f·q using last iteration's forward value; snapshot them before
+        // the sweep overwrites down_.
+        if (segmented) {
+            for (int f = 1; f < cp.parallelism; ++f)
+                boundary_snapshot_[static_cast<std::size_t>(f)] =
+                    down_[static_cast<std::size_t>(f * q - 1)];
+        }
+
+        for (int j = 0; j < m; ++j) {
+            int d = gather_in_edges(j, ins, slots);
+            int left_pos = -1;
+            if (j > 0) {
+                const bool at_boundary = segmented && (j % q == 0);
+                const Value d_prev = at_boundary
+                                         ? boundary_snapshot_[static_cast<std::size_t>(j / q)]
+                                         : down_[static_cast<std::size_t>(j - 1)];
+                left_pos = d;
+                ins[d++] = arith_.narrow(arith_.to_wide(ch_p_[static_cast<std::size_t>(j - 1)]) +
+                                         arith_.to_wide(d_prev));
+            }
+            const int right_pos = d;
+            const Wide chp = arith_.to_wide(ch_p_[static_cast<std::size_t>(j)]);
+            ins[d++] = j < m - 1
+                           ? arith_.narrow(chp + arith_.to_wide(up_[static_cast<std::size_t>(j)]))
+                           : arith_.narrow(chp);
+            extrinsics(ins, d, outs);
+            scatter_outputs(j, outs, slots, kc);
+            down_[static_cast<std::size_t>(j)] = arith_.finalize(outs[right_pos]);
+            if (j > 0) up_[static_cast<std::size_t>(j - 1)] = arith_.finalize(outs[left_pos]);
+        }
+        finish_parity_posterior();
+    }
+
+    void check_phase_map() {
+        const auto& cp = code_->params();
+        const int m = cp.m();
+        const int kc = code_->check_in_degree();
+        Value ins[kMaxCheckDegree];
+        Value outs[kMaxCheckDegree];
+        int slots[kMaxCheckDegree];
+
+        // Forward sweep: fresh d_j along the chain (right input from the
+        // previous iteration's backward messages).
+        for (int j = 0; j < m; ++j) {
+            int d = gather_in_edges(j, ins, slots);
+            if (j > 0)
+                ins[d++] = arith_.narrow(arith_.to_wide(ch_p_[static_cast<std::size_t>(j - 1)]) +
+                                         arith_.to_wide(fwd_d_[static_cast<std::size_t>(j - 1)]));
+            const int right_pos = d;
+            const Wide chp = arith_.to_wide(ch_p_[static_cast<std::size_t>(j)]);
+            ins[d++] = j < m - 1
+                           ? arith_.narrow(chp + arith_.to_wide(up_[static_cast<std::size_t>(j)]))
+                           : arith_.narrow(chp);
+            extrinsics(ins, d, outs);
+            fwd_d_[static_cast<std::size_t>(j)] = arith_.finalize(outs[right_pos]);
+        }
+        // Backward sweep: fresh u_j, fresh outputs to the information nodes.
+        for (int j = m - 1; j >= 0; --j) {
+            int d = gather_in_edges(j, ins, slots);
+            int left_pos = -1;
+            if (j > 0) {
+                left_pos = d;
+                ins[d++] = arith_.narrow(arith_.to_wide(ch_p_[static_cast<std::size_t>(j - 1)]) +
+                                         arith_.to_wide(fwd_d_[static_cast<std::size_t>(j - 1)]));
+            }
+            const Wide chp = arith_.to_wide(ch_p_[static_cast<std::size_t>(j)]);
+            ins[d++] = j < m - 1
+                           ? arith_.narrow(chp + arith_.to_wide(up_[static_cast<std::size_t>(j)]))
+                           : arith_.narrow(chp);
+            extrinsics(ins, d, outs);
+            scatter_outputs(j, outs, slots, kc);
+            if (j > 0) up_[static_cast<std::size_t>(j - 1)] = arith_.finalize(outs[left_pos]);
+        }
+        for (int j = 0; j < m; ++j) down_[static_cast<std::size_t>(j)] = fwd_d_[static_cast<std::size_t>(j)];
+        finish_parity_posterior();
+    }
+
+    /// Mean |posterior| over all N variable nodes, in decoder units
+    /// (raw integer steps for the fixed back-end).
+    double mean_abs_posterior() const {
+        double sum = 0.0;
+        for (const Wide& w : post_in_) sum += std::fabs(static_cast<double>(w));
+        for (const Wide& w : post_p_) sum += std::fabs(static_cast<double>(w));
+        return sum / static_cast<double>(post_in_.size() + post_p_.size());
+    }
+
+    /// Layered decoding: the posterior arrays double as running totals.
+    void init_layered_totals() {
+        const auto& cp = code_->params();
+        for (int v = 0; v < cp.k; ++v)
+            post_in_[static_cast<std::size_t>(v)] =
+                arith_.to_wide(ch_in_[static_cast<std::size_t>(v)]);
+        for (int j = 0; j < cp.m(); ++j)
+            post_p_[static_cast<std::size_t>(j)] =
+                arith_.to_wide(ch_p_[static_cast<std::size_t>(j)]);
+    }
+
+    /// Row-layered sweep: each check node reads fresh variable-to-check
+    /// messages as (running total − its own previous contribution), then
+    /// folds the new extrinsics back into the totals immediately.
+    void check_phase_layered() {
+        const auto& cp = code_->params();
+        const int m = cp.m();
+        const int kc = code_->check_in_degree();
+        Value ins[kMaxCheckDegree];
+        Value outs[kMaxCheckDegree];
+        int slots[kMaxCheckDegree];
+        for (int j = 0; j < m; ++j) {
+            const long long base = static_cast<long long>(j) * kc;
+            int d = 0;
+            for (int t = 0; t < kc; ++t) {
+                const int slot =
+                    cn_order_.empty() ? t : cn_order_[static_cast<std::size_t>(base + t)];
+                slots[t] = slot;
+                const auto e = static_cast<std::size_t>(base + slot);
+                const int v = code_->edge_variable(static_cast<long long>(e));
+                ins[d++] = arith_.narrow(post_in_[static_cast<std::size_t>(v)] -
+                                         arith_.to_wide(c2v_[e]));
+            }
+            int left_pos = -1;
+            if (j > 0) {
+                left_pos = d;
+                ins[d++] = arith_.narrow(post_p_[static_cast<std::size_t>(j - 1)] -
+                                         arith_.to_wide(up_[static_cast<std::size_t>(j - 1)]));
+            }
+            const int right_pos = d;
+            ins[d++] = arith_.narrow(post_p_[static_cast<std::size_t>(j)] -
+                                     arith_.to_wide(down_[static_cast<std::size_t>(j)]));
+            extrinsics(ins, d, outs);
+            for (int t = 0; t < kc; ++t) {
+                const auto e = static_cast<std::size_t>(base + slots[t]);
+                const int v = code_->edge_variable(static_cast<long long>(e));
+                const Value fresh = arith_.finalize(outs[t]);
+                post_in_[static_cast<std::size_t>(v)] +=
+                    arith_.to_wide(fresh) - arith_.to_wide(c2v_[e]);
+                c2v_[e] = fresh;
+            }
+            if (j > 0) {
+                const Value fresh = arith_.finalize(outs[left_pos]);
+                post_p_[static_cast<std::size_t>(j - 1)] +=
+                    arith_.to_wide(fresh) - arith_.to_wide(up_[static_cast<std::size_t>(j - 1)]);
+                up_[static_cast<std::size_t>(j - 1)] = fresh;
+            }
+            const Value fresh_d = arith_.finalize(outs[right_pos]);
+            post_p_[static_cast<std::size_t>(j)] +=
+                arith_.to_wide(fresh_d) - arith_.to_wide(down_[static_cast<std::size_t>(j)]);
+            down_[static_cast<std::size_t>(j)] = fresh_d;
+        }
+    }
+
+    void begin_posterior() {
+        const auto& cp = code_->params();
+        for (int v = 0; v < cp.k; ++v)
+            post_in_[static_cast<std::size_t>(v)] =
+                arith_.to_wide(ch_in_[static_cast<std::size_t>(v)]);
+    }
+
+    void finish_parity_posterior() {
+        const auto& cp = code_->params();
+        const int m = cp.m();
+        for (int j = 0; j < m; ++j) {
+            Wide t = arith_.to_wide(ch_p_[static_cast<std::size_t>(j)]) +
+                     arith_.to_wide(down_[static_cast<std::size_t>(j)]);
+            if (j < m - 1) t += arith_.to_wide(up_[static_cast<std::size_t>(j)]);
+            post_p_[static_cast<std::size_t>(j)] = t;
+        }
+    }
+
+    void harden(util::BitVec& codeword) const {
+        const auto& cp = code_->params();
+        if (codeword.size() != static_cast<std::size_t>(cp.n))
+            codeword = util::BitVec(static_cast<std::size_t>(cp.n));
+        else
+            codeword.clear();
+        if (cfg_.max_iterations == 0) {
+            // No iterations ran: decide straight from the channel.
+            for (int v = 0; v < cp.k; ++v)
+                if (arith_.is_negative(arith_.to_wide(ch_in_[static_cast<std::size_t>(v)])))
+                    codeword.set(static_cast<std::size_t>(v), true);
+            for (int j = 0; j < cp.m(); ++j)
+                if (arith_.is_negative(arith_.to_wide(ch_p_[static_cast<std::size_t>(j)])))
+                    codeword.set(static_cast<std::size_t>(cp.k + j), true);
+            return;
+        }
+        for (int v = 0; v < cp.k; ++v)
+            if (arith_.is_negative(post_in_[static_cast<std::size_t>(v)]))
+                codeword.set(static_cast<std::size_t>(v), true);
+        for (int j = 0; j < cp.m(); ++j)
+            if (arith_.is_negative(post_p_[static_cast<std::size_t>(j)]))
+                codeword.set(static_cast<std::size_t>(cp.k + j), true);
+    }
+
+    const code::Dvbs2Code* code_;
+    DecoderConfig cfg_;
+    Arith arith_;
+
+    std::vector<Value> c2v_, v2c_;          // information-edge messages
+    std::vector<Value> down_, up_;          // zigzag messages (CN_j→p_j, CN_{j+1}→p_j)
+    std::vector<Value> pn_a_, pn_c_;        // two-phase parity v2c messages
+    std::vector<Value> fwd_d_;              // MAP forward storage
+    std::vector<Value> boundary_snapshot_;  // segmented-schedule FU boundaries
+    std::vector<Value> ch_in_, ch_p_;
+    std::vector<Wide> post_in_, post_p_;
+    std::vector<int> cn_order_;
+    std::function<void(const IterationTrace&)> observer_;
+};
+
+}  // namespace dvbs2::core

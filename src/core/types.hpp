@@ -1,0 +1,72 @@
+// Public decoder types: schedules, check-node rules, configuration, result.
+#pragma once
+
+#include "util/bitvec.hpp"
+
+namespace dvbs2::core {
+
+/// Message-update schedule (paper Fig. 2 and Sec. 2.2).
+enum class Schedule {
+    /// Fig. 2a: canonical two-phase flooding; parity nodes are ordinary
+    /// degree-2 variable nodes, both zigzag message directions are stored.
+    TwoPhase,
+    /// Fig. 2b: the paper's optimized scheme — check nodes are swept
+    /// sequentially, the fresh parity message is passed forward immediately,
+    /// only the backward message is stored (memory halved, ~10 iterations
+    /// saved).
+    ZigzagForward,
+    /// The hardware realization of Fig. 2b: all P functional units sweep
+    /// their q-CN segments in parallel, so the forward recursion restarts at
+    /// every segment boundary from the previous iteration's value.
+    ZigzagSegmented,
+    /// The MAP variant the paper mentions ("a sequential backwards update
+    /// would result in a maximum a posteriori algorithm"): forward and
+    /// backward sweeps both sequential within one iteration.
+    ZigzagMap,
+    /// Row-layered decoding (extension): check nodes update sequentially
+    /// against running posterior totals, so every CN sees the freshest
+    /// variable beliefs — the schedule later DVB-S2/S2X decoders adopted
+    /// (converges in roughly half the iterations of two-phase flooding).
+    Layered,
+};
+
+/// Check-node combining rule (paper Eq. 5 and its implementations).
+enum class CheckRule {
+    Exact,              ///< log-domain boxplus (float) / correction-LUT (fixed)
+    MinSum,             ///< magnitude minimum, sign product
+    NormalizedMinSum,   ///< min-sum scaled by `normalization`
+    OffsetMinSum,       ///< min-sum with magnitude offset `offset`
+};
+
+/// Decoder configuration. Defaults reproduce the paper's operating point:
+/// 30 iterations of the optimized zigzag schedule with the exact rule.
+struct DecoderConfig {
+    Schedule schedule = Schedule::ZigzagForward;
+    CheckRule rule = CheckRule::Exact;
+    int max_iterations = 30;
+    bool early_stop = true;        ///< stop once the syndrome is satisfied
+    double normalization = 0.75;   ///< NormalizedMinSum scale factor
+    double offset = 0.5;           ///< OffsetMinSum magnitude offset (LLR units)
+};
+
+/// Decoding outcome.
+struct DecodeResult {
+    util::BitVec codeword;   ///< hard decision for all N bits
+    util::BitVec info_bits;  ///< hard decision for the K information bits
+    bool converged = false;  ///< syndrome satisfied within the iteration cap
+    int iterations = 0;      ///< iterations executed
+};
+
+/// Per-iteration diagnostics delivered to an observer (see
+/// Decoder::set_observer): convergence analyses, waterfall debugging, and
+/// the E4 bench use these.
+struct IterationTrace {
+    int iteration = 0;            ///< 1-based iteration index
+    int unsatisfied_checks = 0;   ///< syndrome weight of the hard decision
+    double mean_abs_posterior = 0.0;  ///< mean |posterior| in decoder units
+};
+
+const char* to_string(Schedule s);
+const char* to_string(CheckRule r);
+
+}  // namespace dvbs2::core

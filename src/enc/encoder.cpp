@@ -1,0 +1,60 @@
+#include "enc/encoder.hpp"
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace dvbs2::enc {
+
+util::BitVec Encoder::encode(const util::BitVec& info) const {
+    const auto& cp = code_->params();
+    DVBS2_REQUIRE(info.size() == static_cast<std::size_t>(cp.k), "info length mismatch");
+    const int p = cp.parallelism;
+    const int q = cp.q;
+    const int m = cp.m();
+
+    util::BitVec cw(static_cast<std::size_t>(cp.n));
+    for (int v = 0; v < cp.k; ++v)
+        if (info.get(static_cast<std::size_t>(v))) cw.set(static_cast<std::size_t>(v), true);
+
+    // Pass 1 (Eq. 2): accumulate information bits into the parity slots.
+    // Work on a plain byte array: profiling shows the bit-packed flip is the
+    // hot spot for N = 64800.
+    std::vector<unsigned char> parity(static_cast<std::size_t>(m), 0);
+    const auto& rows = code_->tables().rows;
+    for (std::size_t g = 0; g < rows.size(); ++g) {
+        for (int i = 0; i < p; ++i) {
+            const int v = static_cast<int>(g) * p + i;
+            if (!info.get(static_cast<std::size_t>(v))) continue;
+            const int shift = i * q;
+            for (std::uint32_t x : rows[g]) {
+                int c = static_cast<int>(x) + shift;
+                if (c >= m) c -= m;  // x < m and shift < m, so one wrap suffices
+                parity[static_cast<std::size_t>(c)] ^= 1;
+            }
+        }
+    }
+
+    // Pass 2 (Eq. 3): the zigzag accumulator p_j ^= p_{j−1}.
+    unsigned char acc = 0;
+    for (int j = 0; j < m; ++j) {
+        acc ^= parity[static_cast<std::size_t>(j)];
+        if (acc) cw.set(static_cast<std::size_t>(cp.k + j), true);
+    }
+    return cw;
+}
+
+util::BitVec Encoder::encode_checked(const util::BitVec& info) const {
+    util::BitVec cw = encode(info);
+    DVBS2_REQUIRE(code_->is_codeword(cw), "encoder produced a non-codeword");
+    return cw;
+}
+
+util::BitVec random_info_bits(int k, std::uint64_t seed) {
+    util::Xoshiro256pp rng(seed);
+    util::BitVec bits(static_cast<std::size_t>(k));
+    for (int v = 0; v < k; ++v)
+        if (rng() & 1u) bits.set(static_cast<std::size_t>(v), true);
+    return bits;
+}
+
+}  // namespace dvbs2::enc

@@ -1,0 +1,39 @@
+// Linear-time IRA encoder (paper Sec. 2, Eq. 2 + Eq. 3).
+//
+// Encoding an IRA code is two passes:
+//   1. accumulate: every information bit i_m toggles the parity accumulators
+//      listed by its group-table entry, p_j ^= i_m for j = (x + i·q) mod M;
+//   2. zigzag: prefix-XOR the accumulators, p_j ^= p_{j−1} (the accumulator
+//      of the encoder, which is what makes the parity columns a banded
+//      degree-2 zigzag in H and encoding complexity linear).
+//
+// The paper emphasizes this as the reason DVB-S2 chose IRA codes — generic
+// LDPC encoding needs dense matrix operations.
+#pragma once
+
+#include "code/tanner.hpp"
+#include "util/bitvec.hpp"
+
+namespace dvbs2::enc {
+
+/// Systematic IRA encoder bound to one code instance.
+class Encoder {
+public:
+    explicit Encoder(const code::Dvbs2Code& code) : code_(&code) {}
+
+    /// Encodes `info` (size K) into a codeword (size N): systematic bits
+    /// first, then the N−K parity bits.
+    util::BitVec encode(const util::BitVec& info) const;
+
+    /// Convenience: encodes `info` and asserts H·xᵀ = 0 (used by tests and
+    /// examples; the check is O(E)).
+    util::BitVec encode_checked(const util::BitVec& info) const;
+
+private:
+    const code::Dvbs2Code* code_;
+};
+
+/// Draws K uniformly random information bits (deterministic in `seed`).
+util::BitVec random_info_bits(int k, std::uint64_t seed);
+
+}  // namespace dvbs2::enc

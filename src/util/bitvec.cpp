@@ -1,0 +1,33 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+namespace dvbs2::util {
+
+std::size_t BitVec::count() const noexcept {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+}
+
+bool BitVec::none() const noexcept {
+    for (auto w : words_)
+        if (w != 0) return false;
+    return true;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+    DVBS2_REQUIRE(size_ == other.size_, "BitVec XOR size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& a, const BitVec& b) {
+    DVBS2_REQUIRE(a.size_ == b.size_, "hamming_distance size mismatch");
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < a.words_.size(); ++i)
+        d += static_cast<std::size_t>(std::popcount(a.words_[i] ^ b.words_[i]));
+    return d;
+}
+
+}  // namespace dvbs2::util

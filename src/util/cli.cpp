@@ -1,0 +1,43 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace dvbs2::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv, std::vector<std::string> allowed) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        const std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        const std::string name = body.substr(0, eq);
+        DVBS2_REQUIRE(std::find(allowed.begin(), allowed.end(), name) != allowed.end(),
+                      "unknown option --" + name);
+        values_[name] = (eq == std::string::npos) ? std::string{} : body.substr(eq + 1);
+    }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+long long CliArgs::get_int(const std::string& name, long long def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : std::stod(it->second);
+}
+
+}  // namespace dvbs2::util

@@ -1,0 +1,38 @@
+// Minimal command-line option parser for the example and bench binaries.
+//
+// Supports --name=value and --flag forms. Unknown options raise an error so
+// typos are caught instead of silently ignored.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dvbs2::util {
+
+/// Parses `--key=value` / `--flag` arguments and serves typed lookups with
+/// defaults. Positional arguments are collected in order.
+class CliArgs {
+public:
+    /// Parses argv; `allowed` lists the option names (without "--") the
+    /// program accepts. Throws std::runtime_error on an unknown option or a
+    /// malformed argument.
+    CliArgs(int argc, const char* const* argv, std::vector<std::string> allowed);
+
+    /// True if --name was present (with or without a value).
+    bool has(const std::string& name) const;
+
+    /// Typed accessors with defaults.
+    std::string get(const std::string& name, const std::string& def) const;
+    long long get_int(const std::string& name, long long def) const;
+    double get_double(const std::string& name, double def) const;
+
+    const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace dvbs2::util

@@ -1,0 +1,30 @@
+#include "util/csv.hpp"
+
+namespace dvbs2::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+    DVBS2_REQUIRE(out_.good(), "cannot open CSV file: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+    DVBS2_REQUIRE(out_.good(), "CSV write failed");
+    ++rows_;
+}
+
+}  // namespace dvbs2::util

@@ -1,0 +1,34 @@
+// Minimal CSV writer for exporting sweep results (BER curves, thresholds)
+// to plotting tools.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dvbs2::util {
+
+/// Row-oriented CSV writer. Quoting: fields containing comma/quote/newline
+/// are double-quoted with internal quotes doubled (RFC 4180).
+class CsvWriter {
+public:
+    /// Opens `path` for writing (truncates). Throws when the file cannot be
+    /// created.
+    explicit CsvWriter(const std::string& path);
+
+    /// Writes one row; call with the header first.
+    void write_row(const std::vector<std::string>& fields);
+
+    /// Number of rows written so far (including the header).
+    std::size_t rows_written() const noexcept { return rows_; }
+
+private:
+    static std::string escape(const std::string& field);
+
+    std::ofstream out_;
+    std::size_t rows_ = 0;
+};
+
+}  // namespace dvbs2::util

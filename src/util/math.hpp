@@ -1,0 +1,54 @@
+// Numeric helpers for message-passing decoding.
+//
+// The check-node update in the sum-product algorithm (paper Eq. 5) is
+// expressed either through tanh/atanh or through the pairwise "boxplus"
+// operator; both are provided here with the numerical guards (clamping near
+// ±1, log-domain correction terms) a production decoder needs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvbs2::util {
+
+/// Largest LLR magnitude the floating-point decoder works with. Keeps
+/// tanh(x/2) away from ±1 so atanh stays finite.
+inline constexpr double kLlrClamp = 30.0;
+
+/// Clamps an LLR into [-kLlrClamp, kLlrClamp].
+inline double clamp_llr(double x) noexcept { return std::clamp(x, -kLlrClamp, kLlrClamp); }
+
+/// Exact pairwise boxplus: L(a ⊞ b) = 2 atanh(tanh(a/2) tanh(b/2)).
+/// Implemented in the log domain for numerical robustness:
+///   a ⊞ b = sign(a)sign(b) min(|a|,|b|) + log1p(e^-|a+b|) - log1p(e^-|a-b|).
+inline double boxplus_exact(double a, double b) noexcept {
+    const double s = (std::signbit(a) == std::signbit(b)) ? 1.0 : -1.0;
+    const double m = s * std::min(std::fabs(a), std::fabs(b));
+    const double corr = std::log1p(std::exp(-std::fabs(a + b))) -
+                        std::log1p(std::exp(-std::fabs(a - b)));
+    return clamp_llr(m + corr);
+}
+
+/// Min-sum approximation of boxplus (drops the correction terms).
+inline double boxplus_minsum(double a, double b) noexcept {
+    const double s = (std::signbit(a) == std::signbit(b)) ? 1.0 : -1.0;
+    return s * std::min(std::fabs(a), std::fabs(b));
+}
+
+/// Jacobian logarithm max*(a,b) = log(e^a + e^b).
+inline double jacobian_log(double a, double b) noexcept {
+    const double mx = std::max(a, b);
+    return mx + std::log1p(std::exp(-std::fabs(a - b)));
+}
+
+/// Q-function (tail of the standard normal), used by the capacity module and
+/// by uncoded-BPSK reference curves.
+inline double q_function(double x) noexcept { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+/// dB → linear power ratio.
+inline double db_to_linear(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+/// Linear power ratio → dB.
+inline double linear_to_db(double lin) noexcept { return 10.0 * std::log10(lin); }
+
+}  // namespace dvbs2::util

@@ -1,0 +1,44 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+namespace dvbs2::util {
+
+std::uint64_t Xoshiro256pp::below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire's nearly-divisionless method: multiply-high, reject the small
+    // biased window at the bottom of each residue class.
+    auto mul_high = [](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) * b) >> 64);
+    };
+    std::uint64_t x = (*this)();
+    std::uint64_t m_lo = x * bound;
+    if (m_lo < bound) {
+        const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) mod bound
+        while (m_lo < threshold) {
+            x = (*this)();
+            m_lo = x * bound;
+        }
+    }
+    return mul_high(x, bound);
+}
+
+double Xoshiro256pp::gaussian() noexcept {
+    if (have_cached_) {
+        have_cached_ = false;
+        return cached_;
+    }
+    // Polar Box–Muller: two independent N(0,1) per accepted pair.
+    double u, v, s;
+    do {
+        u = 2.0 * uniform() - 1.0;
+        v = 2.0 * uniform() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * factor;
+    have_cached_ = true;
+    return u * factor;
+}
+
+}  // namespace dvbs2::util

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic parts of the library (code construction, AWGN channel,
+// simulated annealing) consume one of these engines so that every experiment
+// is reproducible from a single 64-bit seed. SplitMix64 is used to expand
+// seeds; xoshiro256++ is the main engine (fast, passes BigCrush).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dvbs2::util {
+
+/// SplitMix64: tiny splittable generator, used for seed expansion and for
+/// cheap deterministic per-index hashing (e.g. code-table construction).
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    /// Next 64 uniformly distributed bits.
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Stateless hash of a 64-bit value with SplitMix64's finalizer; handy for
+/// deriving independent streams from (seed, index) pairs.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256++ by Blackman & Vigna — the library's workhorse engine.
+/// Satisfies the essentials of UniformRandomBitGenerator.
+class Xoshiro256pp {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four 64-bit words of state via SplitMix64 so that any seed,
+    /// including 0, yields a well-mixed state.
+    explicit constexpr Xoshiro256pp(std::uint64_t seed = 0x6a09e667f3bcc908ULL) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& w : s_) w = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1) with 53 random bits.
+    constexpr double uniform() noexcept { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+    /// simplified: rejection on the multiply-high range).
+    std::uint64_t below(std::uint64_t bound) noexcept;
+
+    /// Standard normal variate (polar Box–Muller with caching).
+    double gaussian() noexcept;
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> s_{};
+    bool have_cached_ = false;
+    double cached_ = 0.0;
+};
+
+}  // namespace dvbs2::util

@@ -1,0 +1,42 @@
+// Lightweight statistics used by the Monte-Carlo BER harness and by the
+// simulated-annealing optimizer: streaming mean/variance (Welford) and
+// confidence intervals for binomial proportions (Wilson score).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dvbs2::util {
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+    double stddev() const noexcept;
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Two-sided Wilson score interval for a binomial proportion.
+struct ProportionCI {
+    double lo;
+    double hi;
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence level
+/// given by z (1.96 ≈ 95%). Well-behaved for rare events (BER estimation).
+ProportionCI wilson_interval(std::uint64_t successes, std::uint64_t trials, double z = 1.96);
+
+}  // namespace dvbs2::util

@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dvbs2::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+    DVBS2_REQUIRE(rows_.empty(), "set_header must precede add_row");
+    header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    DVBS2_REQUIRE(row.size() == header_.size(), "row arity must match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int prec) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+std::string TextTable::num(long long v) { return std::to_string(v); }
+
+void TextTable::print(std::ostream& os, const std::string& title) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        os << "| ";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(widths[c])) << row[c];
+            os << (c + 1 == row.size() ? " |\n" : " | ");
+        }
+    };
+
+    if (!title.empty()) os << title << '\n';
+    print_row(header_);
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << std::string(widths[c] + 2, '-') << (c + 1 == header_.size() ? "|\n" : "+");
+    }
+    for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dvbs2::util

@@ -1,0 +1,36 @@
+// Console table formatter: the bench binaries use this to print rows that
+// mirror the paper's tables (fixed-width, right-aligned numerics).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dvbs2::util {
+
+/// Accumulates rows of strings and renders them with per-column widths,
+/// a header separator and an optional title. No ownership of the stream.
+class TextTable {
+public:
+    /// Sets the column headers; must be called before adding rows.
+    void set_header(std::vector<std::string> header);
+
+    /// Appends a data row; its arity must match the header's.
+    void add_row(std::vector<std::string> row);
+
+    /// Formats a double with `prec` digits after the decimal point.
+    static std::string num(double v, int prec = 2);
+
+    /// Formats an integer with no decoration.
+    static std::string num(long long v);
+
+    /// Renders the table. `title`, when non-empty, is printed above.
+    void print(std::ostream& os, const std::string& title = "") const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dvbs2::util

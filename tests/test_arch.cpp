@@ -1,0 +1,499 @@
+// Architecture-model tests: hardware mapping invariants (Fig. 3), shuffle
+// network, conflict simulation (Fig. 5), simulated annealing, throughput
+// (Eq. 8), area model (Table 3), and the bit-exactness of the cycle-driven
+// RTL model against the algorithmic fixed-point decoder.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "arch/anneal.hpp"
+#include "arch/area.hpp"
+#include "arch/conflict.hpp"
+#include "arch/mapping.hpp"
+#include "arch/rtl_model.hpp"
+#include "arch/shuffle.hpp"
+#include "arch/throughput.hpp"
+#include "code/params.hpp"
+#include "comm/modem.hpp"
+#include "core/decoder.hpp"
+#include "enc/encoder.hpp"
+
+namespace da = dvbs2::arch;
+namespace dc = dvbs2::code;
+namespace dd = dvbs2::core;
+namespace dm = dvbs2::comm;
+namespace dq = dvbs2::quant;
+using dvbs2::util::BitVec;
+
+namespace {
+
+const dc::Dvbs2Code& toy_code() {
+    static const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    return code;
+}
+
+std::vector<dq::QLLR> noisy_channel(const dc::Dvbs2Code& code, double ebn0_db,
+                                    std::uint64_t seed, const dq::QuantSpec& spec) {
+    const dvbs2::enc::Encoder enc(code);
+    const BitVec cw = enc.encode(dvbs2::enc::random_info_bits(code.k(), seed));
+    dm::AwgnModem modem(dm::Modulation::Bpsk, seed + 101);
+    const double sigma = dm::noise_sigma(ebn0_db, code.params().rate(), dm::Modulation::Bpsk);
+    const auto llr = modem.transmit(cw, sigma);
+    std::vector<dq::QLLR> q(llr.size());
+    for (std::size_t i = 0; i < llr.size(); ++i) q[i] = dq::quantize(llr[i], spec);
+    return q;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- shuffle
+
+TEST(Shuffle, RotateAndInverseRoundTrip) {
+    std::vector<int> w = {1, 2, 3, 4, 5, 6, 7};
+    const auto r = da::rotate_lanes(w, 3);
+    EXPECT_EQ(r[3], 1);  // lane 0 moved to lane 3
+    EXPECT_EQ(da::rotate_lanes(r, -3), w);
+    EXPECT_EQ(da::rotate_lanes(w, 7), w);       // full rotation = identity
+    EXPECT_EQ(da::rotate_lanes(w, 10), da::rotate_lanes(w, 3));
+}
+
+TEST(Shuffle, NetworkStats360) {
+    const auto st = da::shuffle_network_stats(360, 6);
+    EXPECT_EQ(st.stages, 9);  // ceil(log2 360)
+    EXPECT_EQ(st.mux2_count, 360LL * 6 * 9);
+}
+
+// -------------------------------------------------------------- mapping
+
+TEST(Mapping, SlotCountMatchesTable2Addr) {
+    const da::HardwareMapping map(toy_code());
+    EXPECT_EQ(map.ram_words(), toy_code().params().addr_words());
+    EXPECT_EQ(map.fu_load(), map.ram_words());  // Eq. 6
+}
+
+TEST(Mapping, RateHalfHas450AddressWords) {
+    // Paper Sec. 3: "we have to store E_IN/360 = 450 shuffling and
+    // addressing information for the R = 1/2 code".
+    const dc::Dvbs2Code code(dc::standard_params(dc::CodeRate::R1_2));
+    const da::HardwareMapping map(code);
+    EXPECT_EQ(map.ram_words(), 450);
+}
+
+TEST(Mapping, SlotsCoverAllAddressesOnce) {
+    const da::HardwareMapping map(toy_code());
+    std::set<int> addrs;
+    for (const auto& s : map.slots()) {
+        EXPECT_GE(s.addr, 0);
+        EXPECT_LT(s.addr, map.ram_words());
+        addrs.insert(s.addr);
+    }
+    EXPECT_EQ(static_cast<int>(addrs.size()), map.ram_words());
+}
+
+TEST(Mapping, RunsAreResidueAligned) {
+    const da::HardwareMapping map(toy_code());
+    const int kc = map.slots_per_cn();
+    for (int t = 0; t < map.ram_words(); ++t)
+        EXPECT_EQ(map.slots()[static_cast<std::size_t>(t)].local_cn, t / kc);
+}
+
+TEST(Mapping, EdgeOfCoversEveryEdgeExactlyOnce) {
+    const da::HardwareMapping map(toy_code());
+    const int p = toy_code().params().parallelism;
+    std::vector<int> hit(static_cast<std::size_t>(toy_code().e_in()), 0);
+    for (const auto& s : map.slots())
+        for (int f = 0; f < p; ++f) ++hit[static_cast<std::size_t>(map.edge_of(s, f))];
+    for (auto h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(Mapping, GroupShiftPropertyOneAddressOneShift) {
+    // Fig. 3's key property: each slot serves all P FUs from one address
+    // with one rotation — the variable served must differ per FU and the
+    // local CN must be identical. (The Fig.-3 structural report, E3.)
+    const da::HardwareMapping map(toy_code());
+    const int p = toy_code().params().parallelism;
+    for (const auto& s : map.slots()) {
+        std::set<int> vars;
+        for (int f = 0; f < p; ++f) vars.insert(map.variable_of(s, f));
+        EXPECT_EQ(static_cast<int>(vars.size()), p);
+        // All served variables come from the slot's group.
+        for (int v : vars) EXPECT_EQ(v / p, s.group);
+    }
+}
+
+TEST(Mapping, ExtractCnOrderIsPermutationPerCn) {
+    const da::HardwareMapping map(toy_code());
+    const auto order = map.extract_cn_order();
+    const int kc = map.slots_per_cn();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(toy_code().e_in()));
+    for (int c = 0; c < toy_code().m(); ++c) {
+        std::set<int> seen;
+        for (int t = 0; t < kc; ++t)
+            seen.insert(order[static_cast<std::size_t>(c) * kc + static_cast<std::size_t>(t)]);
+        EXPECT_EQ(static_cast<int>(seen.size()), kc);
+        EXPECT_EQ(*seen.begin(), 0);
+        EXPECT_EQ(*seen.rbegin(), kc - 1);
+    }
+}
+
+TEST(Mapping, SwapRowEntriesKeepsInvariants) {
+    da::HardwareMapping map(toy_code());
+    const auto before_edges = [&] {
+        std::multiset<long long> s;
+        const int p = toy_code().params().parallelism;
+        for (const auto& sl : map.slots())
+            for (int f = 0; f < p; ++f) s.insert(map.edge_of(sl, f));
+        return s;
+    };
+    const auto e0 = before_edges();
+    map.swap_row_entries(0, 0, 3);
+    map.swap_row_entries(2, 1, 2);
+    EXPECT_EQ(before_edges(), e0);  // same edge set, different addresses
+    std::set<int> addrs;
+    for (const auto& s : map.slots()) addrs.insert(s.addr);
+    EXPECT_EQ(static_cast<int>(addrs.size()), map.ram_words());
+}
+
+TEST(Mapping, SwapSlotsInRunReordersWithinCn) {
+    da::HardwareMapping map(toy_code());
+    const auto s0 = map.slots()[0];
+    const auto s1 = map.slots()[1];
+    map.swap_slots_in_run(0, 0, 1);
+    EXPECT_EQ(map.slots()[0].addr, s1.addr);
+    EXPECT_EQ(map.slots()[1].addr, s0.addr);
+    EXPECT_EQ(map.slots()[0].local_cn, 0);
+}
+
+// -------------------------------------------------------------- conflict
+
+TEST(Conflict, NoWritesMeansNoBuffer) {
+    da::PhaseSchedule sched;
+    sched.read_addr = {0, 1, 2, 3};
+    sched.ready_at.assign(4, {});
+    const auto st = da::simulate_phase(sched, da::MemoryConfig{});
+    EXPECT_EQ(st.read_cycles, 4);
+    EXPECT_EQ(st.total_cycles, 4);
+    EXPECT_EQ(st.peak_buffer, 0);
+}
+
+TEST(Conflict, WriteToReadBankIsDeferred) {
+    // Read bank 0 every cycle; a write to bank 0 must wait for the epilogue.
+    da::PhaseSchedule sched;
+    sched.read_addr = {0, 4, 8};  // all bank 0
+    sched.ready_at.assign(3, {});
+    sched.ready_at[0] = {12};  // bank 0 write ready at cycle 0
+    const auto st = da::simulate_phase(sched, da::MemoryConfig{4, 2, 0});
+    EXPECT_GE(st.peak_buffer, 1);
+    EXPECT_EQ(st.total_cycles, 4);  // one drain cycle
+}
+
+TEST(Conflict, TwoWritesToDistinctFreeBanksSameCycle) {
+    da::PhaseSchedule sched;
+    sched.read_addr = {0};
+    sched.ready_at.assign(1, std::vector<int>{1, 2});
+    const auto st = da::simulate_phase(sched, da::MemoryConfig{4, 2, 0});
+    EXPECT_EQ(st.total_cycles, 1);  // both written concurrently with the read
+}
+
+TEST(Conflict, WritePortLimitEnforced) {
+    da::PhaseSchedule sched;
+    sched.read_addr = {0};
+    sched.ready_at.assign(1, std::vector<int>{1, 2, 3, 5, 6, 7});
+    const auto st = da::simulate_phase(sched, da::MemoryConfig{4, 2, 0});
+    // 6 writes, 2 per cycle: 1 read cycle + 2 drain cycles.
+    EXPECT_EQ(st.total_cycles, 3);
+    EXPECT_GE(st.peak_buffer, 6);
+}
+
+TEST(Conflict, CheckPhaseScheduleShape) {
+    const da::HardwareMapping map(toy_code());
+    const da::MemoryConfig mem{};
+    const auto sched = da::make_check_phase_schedule(map, mem);
+    EXPECT_EQ(static_cast<int>(sched.read_addr.size()), map.ram_words());
+    // Total write addresses = total reads (every word written back once).
+    std::size_t writes = 0;
+    for (const auto& w : sched.ready_at) writes += w.size();
+    EXPECT_EQ(static_cast<int>(writes), map.ram_words());
+}
+
+TEST(Conflict, VariablePhaseScheduleShape) {
+    const da::HardwareMapping map(toy_code());
+    const auto sched = da::make_variable_phase_schedule(map, da::MemoryConfig{});
+    EXPECT_EQ(static_cast<int>(sched.read_addr.size()), map.ram_words());
+    std::size_t writes = 0;
+    for (const auto& w : sched.ready_at) writes += w.size();
+    EXPECT_EQ(static_cast<int>(writes), map.ram_words());
+}
+
+TEST(Conflict, IterationCompletesWithBoundedBuffer) {
+    const da::HardwareMapping map(toy_code());
+    const auto st = da::simulate_iteration(map, da::MemoryConfig{});
+    EXPECT_GT(st.cycles_per_iteration(), 2 * map.ram_words() - 1);
+    EXPECT_LT(st.peak_buffer(), 2 * map.slots_per_cn() + da::MemoryConfig{}.pipeline_latency + 2);
+}
+
+// -------------------------------------------------------------- anneal
+
+TEST(Anneal, NeverWorseThanCanonical) {
+    da::HardwareMapping map(toy_code());
+    da::AnnealConfig cfg;
+    cfg.iterations = 800;
+    const auto res = da::anneal_addressing(map, cfg);
+    EXPECT_LE(res.after.peak_buffer, res.before.peak_buffer);
+    EXPECT_GT(res.moves_tried, 0);
+}
+
+TEST(Anneal, OptimizedMappingStillCoversAllEdges) {
+    da::HardwareMapping map(toy_code());
+    da::AnnealConfig cfg;
+    cfg.iterations = 500;
+    da::anneal_addressing(map, cfg);
+    const int p = toy_code().params().parallelism;
+    std::vector<int> hit(static_cast<std::size_t>(toy_code().e_in()), 0);
+    for (const auto& s : map.slots())
+        for (int f = 0; f < p; ++f) ++hit[static_cast<std::size_t>(map.edge_of(s, f))];
+    for (auto h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(Anneal, DeterministicInSeed) {
+    da::HardwareMapping m1(toy_code()), m2(toy_code());
+    da::AnnealConfig cfg;
+    cfg.iterations = 300;
+    const auto r1 = da::anneal_addressing(m1, cfg);
+    const auto r2 = da::anneal_addressing(m2, cfg);
+    EXPECT_EQ(r1.after.peak_buffer, r2.after.peak_buffer);
+    EXPECT_EQ(r1.moves_accepted, r2.moves_accepted);
+}
+
+// ------------------------------------------------------------ throughput
+
+TEST(Throughput, Equation8RateHalfPaperOperatingPoint) {
+    const auto p = dc::standard_params(dc::CodeRate::R1_2);
+    da::ThroughputConfig cfg;  // 270 MHz, P_IO=10, 30 iterations
+    const auto r = da::throughput(p, cfg);
+    EXPECT_EQ(r.io_cycles, 6480);
+    EXPECT_EQ(r.cycles_per_iter, 2 * 450 + cfg.latency_per_iteration);
+    // Information throughput must exceed the 255 Mbit/s coded requirement's
+    // information share for mid/high rates; at R=1/2 it is ~260 Mbit/s.
+    EXPECT_GT(r.info_throughput_bps, 245e6);
+    EXPECT_GT(r.coded_throughput_bps, 490e6);
+}
+
+TEST(Throughput, AllRatesMeetCodedRequirement) {
+    // The DVB-S2 requirement is 255 Mbit/s delivered codeword stream; the
+    // architecture sustains it for every rate at 30 iterations.
+    da::ThroughputConfig cfg;
+    for (auto rate : dc::all_rates()) {
+        const auto r = da::throughput(dc::standard_params(rate), cfg);
+        EXPECT_GT(r.coded_throughput_bps, 255e6) << dc::to_string(rate);
+    }
+}
+
+TEST(Throughput, MaxIterationsInverse) {
+    const auto p = dc::standard_params(dc::CodeRate::R1_2);
+    da::ThroughputConfig cfg;
+    const int it = da::max_iterations_at(p, cfg, 255e6);
+    // Consistency: running `it` iterations meets the target, it+1 misses it.
+    cfg.iterations = it;
+    EXPECT_GE(da::throughput(p, cfg).info_throughput_bps, 255e6 * 0.999);
+    cfg.iterations = it + 1;
+    EXPECT_LT(da::throughput(p, cfg).info_throughput_bps, 255e6);
+}
+
+// ------------------------------------------------------------------ area
+
+TEST(Area, Table3TotalWithinTenPercent) {
+    std::vector<dc::CodeParams> all;
+    for (auto r : dc::all_rates()) all.push_back(dc::standard_params(r));
+    const auto br = da::area_model(all, dq::kQuant6);
+    EXPECT_NEAR(br.total_mm2, 22.74, 2.3);  // paper total ±10%
+}
+
+TEST(Area, Table3RowShapes) {
+    std::vector<dc::CodeParams> all;
+    for (auto r : dc::all_rates()) all.push_back(dc::standard_params(r));
+    const auto br = da::area_model(all, dq::kQuant6);
+    // Paper rows: messages 9.12, FU logic 10.8, channel ~2.0, shuffle 0.55,
+    // address/shuffle 0.075, control 0.2 (mm²).
+    EXPECT_NEAR(br.row("message RAMs"), 9.12, 1.4);
+    EXPECT_NEAR(br.row("functional nodes"), 10.8, 1.8);
+    EXPECT_NEAR(br.row("channel LLR RAMs"), 2.0, 0.35);
+    EXPECT_NEAR(br.row("shuffling network"), 0.55, 0.15);
+    EXPECT_NEAR(br.row("address/shuffle RAM"), 0.075, 0.04);
+    EXPECT_NEAR(br.row("control logic"), 0.2, 0.08);
+    // Connectivity storage must be negligible vs. message storage — the
+    // paper's headline efficiency claim.
+    EXPECT_LT(br.row("address/shuffle RAM"), 0.02 * br.row("message RAMs"));
+}
+
+TEST(Area, FiveBitShrinksMemories) {
+    std::vector<dc::CodeParams> all;
+    for (auto r : dc::all_rates()) all.push_back(dc::standard_params(r));
+    const auto a6 = da::area_model(all, dq::kQuant6);
+    const auto a5 = da::area_model(all, dq::kQuant5);
+    EXPECT_LT(a5.row("message RAMs"), a6.row("message RAMs"));
+    EXPECT_LT(a5.total_mm2, a6.total_mm2);
+}
+
+TEST(Area, UnknownRowThrows) {
+    std::vector<dc::CodeParams> all = {dc::standard_params(dc::CodeRate::R1_2)};
+    const auto br = da::area_model(all, dq::kQuant6);
+    EXPECT_THROW(br.row("nonexistent"), std::runtime_error);
+}
+
+TEST(Area, FunctionalUnitGatesGrowWithDegreeAndWidth) {
+    const auto base = da::functional_unit_gates(13, 30, 6);
+    EXPECT_GT(da::functional_unit_gates(13, 32, 6), base);
+    EXPECT_GT(da::functional_unit_gates(13, 30, 8), base);
+    EXPECT_THROW(da::functional_unit_gates(1, 30, 6), std::runtime_error);
+}
+
+// ------------------------------------------------------------- RTL model
+
+TEST(Rtl, BitExactWithReferenceFixedDecoderToy) {
+    const da::HardwareMapping map(toy_code());
+    da::RtlConfig rc;
+    rc.decoder.max_iterations = 8;
+    rc.decoder.early_stop = false;
+    da::RtlDecoder rtl(toy_code(), map, rc);
+
+    dd::DecoderConfig ref_cfg;
+    ref_cfg.schedule = dd::Schedule::ZigzagSegmented;
+    ref_cfg.max_iterations = 8;
+    ref_cfg.early_stop = false;
+    dd::FixedDecoder ref(toy_code(), ref_cfg, rc.spec);
+    ref.set_cn_order(map.extract_cn_order());
+
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const auto ch = noisy_channel(toy_code(), 3.0, seed, rc.spec);
+        rtl.run_iterations(ch, 5);
+        const auto rtl_msgs = rtl.dump_c2v_canonical();
+        const auto ref_msgs = ref.run_and_dump_c2v(ch, 5);
+        ASSERT_EQ(rtl_msgs.size(), ref_msgs.size());
+        EXPECT_EQ(rtl_msgs, ref_msgs) << "seed " << seed;
+    }
+}
+
+TEST(Rtl, BitExactAfterAnnealing) {
+    da::HardwareMapping map(toy_code());
+    da::AnnealConfig acfg;
+    acfg.iterations = 400;
+    da::anneal_addressing(map, acfg);
+
+    da::RtlConfig rc;
+    da::RtlDecoder rtl(toy_code(), map, rc);
+    dd::DecoderConfig ref_cfg;
+    ref_cfg.schedule = dd::Schedule::ZigzagSegmented;
+    dd::FixedDecoder ref(toy_code(), ref_cfg, rc.spec);
+    ref.set_cn_order(map.extract_cn_order());
+
+    const auto ch = noisy_channel(toy_code(), 3.0, 42, rc.spec);
+    rtl.run_iterations(ch, 4);
+    EXPECT_EQ(rtl.dump_c2v_canonical(), ref.run_and_dump_c2v(ch, 4));
+}
+
+TEST(Rtl, DecodesCleanChannel) {
+    const da::HardwareMapping map(toy_code());
+    da::RtlConfig rc;
+    rc.decoder.max_iterations = 20;
+    da::RtlDecoder rtl(toy_code(), map, rc);
+
+    const dvbs2::enc::Encoder enc(toy_code());
+    const BitVec info = dvbs2::enc::random_info_bits(toy_code().k(), 13);
+    dm::AwgnModem modem(dm::Modulation::Bpsk, 5);
+    const auto llr = modem.transmit_noiseless(enc.encode(info), 0.8);
+    const auto res = rtl.decode(llr);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.info_bits, info);
+}
+
+TEST(Rtl, FullDecodeMatchesReferenceOutcome) {
+    const da::HardwareMapping map(toy_code());
+    da::RtlConfig rc;
+    rc.decoder.max_iterations = 15;
+    da::RtlDecoder rtl(toy_code(), map, rc);
+
+    dd::DecoderConfig ref_cfg;
+    ref_cfg.schedule = dd::Schedule::ZigzagSegmented;
+    ref_cfg.max_iterations = 15;
+    dd::FixedDecoder ref(toy_code(), ref_cfg, rc.spec);
+    ref.set_cn_order(map.extract_cn_order());
+
+    for (std::uint64_t seed = 10; seed < 18; ++seed) {
+        const auto ch = noisy_channel(toy_code(), 4.0, seed, rc.spec);
+        const auto a = rtl.decode_raw(ch);
+        const auto b = ref.decode_raw(ch);
+        EXPECT_EQ(a.info_bits, b.info_bits) << seed;
+        EXPECT_EQ(a.iterations, b.iterations) << seed;
+        EXPECT_EQ(a.converged, b.converged) << seed;
+    }
+}
+
+TEST(Rtl, CycleAccountingIsConsistent) {
+    const da::HardwareMapping map(toy_code());
+    da::RtlConfig rc;
+    da::RtlDecoder rtl(toy_code(), map, rc);
+    const auto st = rtl.iteration_stats();
+    EXPECT_GE(st.cycles_per_iteration(), 2 * map.ram_words());
+    const long long total = rtl.total_cycles(30, 10);
+    EXPECT_EQ(total, (toy_code().n() + 9) / 10 + 30LL * st.cycles_per_iteration());
+}
+
+TEST(Rtl, BitExactOnFullSizeRateHalf) {
+    // The headline E10 check at full scale (one noise realization, 3
+    // iterations keeps runtime small; every address/shift/boundary path of
+    // the R=1/2 mapping is exercised).
+    const dc::Dvbs2Code code(dc::standard_params(dc::CodeRate::R1_2));
+    const da::HardwareMapping map(code);
+    da::RtlConfig rc;
+    da::RtlDecoder rtl(code, map, rc);
+    dd::DecoderConfig ref_cfg;
+    ref_cfg.schedule = dd::Schedule::ZigzagSegmented;
+    dd::FixedDecoder ref(code, ref_cfg, rc.spec);
+    ref.set_cn_order(map.extract_cn_order());
+
+    const auto ch = noisy_channel(code, 1.5, 3, rc.spec);
+    rtl.run_iterations(ch, 3);
+    EXPECT_EQ(rtl.dump_c2v_canonical(), ref.run_and_dump_c2v(ch, 3));
+}
+
+// ------------------------------------------ conflict-model write coverage
+
+TEST(Conflict, EveryAddressWrittenExactlyOncePerPhase) {
+    // Conservation law of the memory model: in each phase, the set of
+    // write-back addresses equals the set of read addresses (every message
+    // word is updated once). Holds for canonical and annealed mappings.
+    for (const bool annealed : {false, true}) {
+        da::HardwareMapping map(toy_code());
+        if (annealed) {
+            da::AnnealConfig cfg;
+            cfg.iterations = 300;
+            da::anneal_addressing(map, cfg);
+        }
+        for (const bool check_phase : {false, true}) {
+            const auto sched = check_phase
+                                   ? da::make_check_phase_schedule(map, da::MemoryConfig{})
+                                   : da::make_variable_phase_schedule(map, da::MemoryConfig{});
+            std::multiset<int> reads(sched.read_addr.begin(), sched.read_addr.end());
+            std::multiset<int> writes;
+            for (const auto& w : sched.ready_at) writes.insert(w.begin(), w.end());
+            EXPECT_EQ(reads, writes) << "annealed=" << annealed << " check=" << check_phase;
+        }
+    }
+}
+
+TEST(Conflict, WritesNeverReadyBeforeTheirRead) {
+    // Causality: a word's write-back can only become ready after the cycle
+    // that read it (plus latency).
+    const da::HardwareMapping map(toy_code());
+    const da::MemoryConfig mem{};
+    const auto sched = da::make_check_phase_schedule(map, mem);
+    std::map<int, std::size_t> read_cycle;
+    for (std::size_t t = 0; t < sched.read_addr.size(); ++t)
+        read_cycle[sched.read_addr[t]] = t;
+    for (std::size_t t = 0; t < sched.ready_at.size(); ++t)
+        for (int addr : sched.ready_at[t])
+            EXPECT_GE(t, read_cycle.at(addr) + static_cast<std::size_t>(mem.pipeline_latency))
+                << "addr " << addr;
+}

@@ -1,0 +1,251 @@
+// Tests for the BCH outer-code substrate: GF(2^m) field axioms, generator
+// construction, encode/decode round-trips, correction up to t errors and
+// detection beyond, and the DVB-S2 parameter set (N_bch = K_ldpc).
+#include <gtest/gtest.h>
+
+#include "bch/bch.hpp"
+#include "bch/gf.hpp"
+#include "util/prng.hpp"
+
+namespace db = dvbs2::bch;
+using dvbs2::util::BitVec;
+
+// ------------------------------------------------------------------ field
+
+class GfParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(GfParam, TablesAreConsistent) {
+    const db::GaloisField gf(GetParam());
+    EXPECT_EQ(gf.order(), (1u << GetParam()) - 1u);
+    // exp/log are inverse bijections.
+    for (std::uint32_t i = 0; i < gf.order(); ++i) EXPECT_EQ(gf.log(gf.exp(i)), i);
+}
+
+TEST_P(GfParam, MulDivInverse) {
+    const db::GaloisField gf(GetParam());
+    dvbs2::util::Xoshiro256pp rng(9);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto a = static_cast<std::uint32_t>(rng.below(gf.order()) + 1);
+        const auto b = static_cast<std::uint32_t>(rng.below(gf.order()) + 1);
+        EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+        EXPECT_EQ(gf.div(gf.mul(a, b), b), a);
+        EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+    }
+}
+
+TEST_P(GfParam, ZeroAnnihilates) {
+    const db::GaloisField gf(GetParam());
+    EXPECT_EQ(gf.mul(0, 5 % (gf.order() + 1)), 0u);
+    EXPECT_EQ(gf.mul(1, 1), 1u);
+}
+
+TEST_P(GfParam, DistributivitySpotCheck) {
+    const db::GaloisField gf(GetParam());
+    dvbs2::util::Xoshiro256pp rng(11);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto a = static_cast<std::uint32_t>(rng.below(gf.order() + 1));
+        const auto b = static_cast<std::uint32_t>(rng.below(gf.order() + 1));
+        const auto c = static_cast<std::uint32_t>(rng.below(gf.order() + 1));
+        EXPECT_EQ(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, GfParam, ::testing::Values(3, 4, 6, 8, 10, 13, 16));
+
+TEST(Gf, RejectsNonPrimitivePoly) {
+    // x^4 + x^3 + x^2 + x + 1 divides x^5 - 1: order 5, not primitive.
+    EXPECT_THROW(db::GaloisField(4, 0x1F), std::runtime_error);
+}
+
+TEST(Gf, RejectsBadM) {
+    EXPECT_THROW(db::GaloisField(1), std::runtime_error);
+    EXPECT_THROW(db::GaloisField(17), std::runtime_error);
+}
+
+// ------------------------------------------------------------------ codec
+
+namespace {
+
+BitVec random_bits(int n, std::uint64_t seed) {
+    dvbs2::util::Xoshiro256pp rng(seed);
+    BitVec v(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        if (rng() & 1) v.set(static_cast<std::size_t>(i), true);
+    return v;
+}
+
+}  // namespace
+
+TEST(Bch, ClassicHamming15_11) {
+    // BCH(15, 11, t=1) is the Hamming code: 4 parity bits.
+    const db::BchCode code(4, 1, 15);
+    EXPECT_EQ(code.parity_bits(), 4);
+    EXPECT_EQ(code.k(), 11);
+}
+
+TEST(Bch, Classic15_7_t2) {
+    // BCH(15, 7, t=2): 8 parity bits (textbook).
+    const db::BchCode code(4, 2, 15);
+    EXPECT_EQ(code.parity_bits(), 8);
+    EXPECT_EQ(code.k(), 7);
+}
+
+TEST(Bch, EncodedWordsSatisfySyndromes) {
+    const db::BchCode code(6, 3, 63);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const BitVec cw = code.encode(random_bits(code.k(), seed));
+        EXPECT_TRUE(code.is_codeword(cw)) << seed;
+    }
+}
+
+TEST(Bch, AllZeroAndAllOneInfo) {
+    const db::BchCode code(6, 3, 63);
+    EXPECT_TRUE(code.is_codeword(code.encode(BitVec(static_cast<std::size_t>(code.k())))));
+    BitVec ones(static_cast<std::size_t>(code.k()));
+    for (int i = 0; i < code.k(); ++i) ones.set(static_cast<std::size_t>(i), true);
+    EXPECT_TRUE(code.is_codeword(code.encode(ones)));
+}
+
+class BchErrorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BchErrorSweep, CorrectsUpToTErrors) {
+    const int nerr = GetParam();
+    const db::BchCode code(8, 5, 255);  // t = 5
+    dvbs2::util::Xoshiro256pp rng(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        const BitVec cw = code.encode(random_bits(code.k(), static_cast<std::uint64_t>(trial)));
+        BitVec rx = cw;
+        // nerr distinct random positions.
+        std::set<int> pos;
+        while (static_cast<int>(pos.size()) < nerr)
+            pos.insert(static_cast<int>(rng.below(static_cast<std::uint64_t>(code.n()))));
+        for (int p : pos) rx.flip(static_cast<std::size_t>(p));
+        const auto res = code.decode(rx);
+        ASSERT_TRUE(res.success) << "errors=" << nerr << " trial=" << trial;
+        EXPECT_EQ(res.errors_corrected, nerr);
+        EXPECT_EQ(res.codeword, cw);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Errors, BchErrorSweep, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Bch, DetectsBeyondT) {
+    // t+1 errors must never be silently mis-decoded into the transmitted
+    // codeword; success=false (detection) is the expected common case.
+    const db::BchCode code(8, 5, 255);
+    dvbs2::util::Xoshiro256pp rng(5);
+    int detected = 0;
+    const int trials = 20;
+    for (int trial = 0; trial < trials; ++trial) {
+        const BitVec cw = code.encode(random_bits(code.k(), static_cast<std::uint64_t>(trial) + 100));
+        BitVec rx = cw;
+        std::set<int> pos;
+        while (static_cast<int>(pos.size()) < code.t() + 1)
+            pos.insert(static_cast<int>(rng.below(static_cast<std::uint64_t>(code.n()))));
+        for (int p : pos) rx.flip(static_cast<std::size_t>(p));
+        const auto res = code.decode(rx);
+        if (!res.success) ++detected;
+        if (res.success) {
+            EXPECT_NE(res.codeword, cw) << "impossible: corrected t+1 errors";
+        }
+    }
+    EXPECT_GT(detected, trials / 2);  // most t+1 patterns are detected
+}
+
+TEST(Bch, ShortenedCodeRoundTrip) {
+    // Shortened BCH(100, 100-16, t=2) over GF(2^8).
+    const db::BchCode code(8, 2, 100);
+    EXPECT_EQ(code.k(), 100 - code.parity_bits());
+    const BitVec cw = code.encode(random_bits(code.k(), 3));
+    EXPECT_TRUE(code.is_codeword(cw));
+    BitVec rx = cw;
+    rx.flip(1);
+    rx.flip(90);
+    const auto res = code.decode(rx);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.codeword, cw);
+}
+
+TEST(Bch, SystematicPrefix) {
+    const db::BchCode code(6, 2, 63);
+    const BitVec info = random_bits(code.k(), 8);
+    const BitVec cw = code.encode(info);
+    for (int i = 0; i < code.k(); ++i)
+        EXPECT_EQ(cw.get(static_cast<std::size_t>(i)), info.get(static_cast<std::size_t>(i)));
+}
+
+TEST(Bch, RejectsWrongLengths) {
+    const db::BchCode code(6, 2, 63);
+    EXPECT_THROW(code.encode(BitVec(5)), std::runtime_error);
+    EXPECT_THROW(code.decode(BitVec(62)), std::runtime_error);
+    EXPECT_THROW(db::BchCode(4, 3, 10), std::runtime_error);  // parity(=10) >= n
+    EXPECT_THROW(db::BchCode(4, 1, 16), std::runtime_error);  // n > 2^m - 1
+}
+
+// --------------------------------------------------------------- DVB-S2
+
+TEST(Dvbs2Bch, Table5aParameters) {
+    // Spot checks of EN 302 307 Table 5a (long frame).
+    const auto p12 = db::dvbs2_bch_params(dvbs2::code::CodeRate::R1_2);
+    EXPECT_EQ(p12.t, 12);
+    EXPECT_EQ(p12.n_bch, 32400);
+    EXPECT_EQ(p12.k_bch, 32208);
+    const auto p23 = db::dvbs2_bch_params(dvbs2::code::CodeRate::R2_3);
+    EXPECT_EQ(p23.t, 10);
+    EXPECT_EQ(p23.k_bch, 43040);
+    const auto p910 = db::dvbs2_bch_params(dvbs2::code::CodeRate::R9_10);
+    EXPECT_EQ(p910.t, 8);
+    EXPECT_EQ(p910.k_bch, 58192);
+}
+
+TEST(Dvbs2Bch, FullSizeEncodeDecode) {
+    // The real outer code of rate 1/2: GF(2^16), t=12, n=32400.
+    const auto prm = db::dvbs2_bch_params(dvbs2::code::CodeRate::R1_2);
+    const db::BchCode code(16, prm.t, prm.n_bch);
+    EXPECT_EQ(code.k(), prm.k_bch);
+    const BitVec cw = code.encode(random_bits(code.k(), 21));
+    EXPECT_TRUE(code.is_codeword(cw));
+
+    BitVec rx = cw;
+    const int positions[] = {0, 777, 16000, 32000, 32399};
+    for (int p : positions) rx.flip(static_cast<std::size_t>(p));
+    const auto res = code.decode(rx);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.errors_corrected, 5);
+    EXPECT_EQ(res.codeword, cw);
+}
+
+// ------------------------------------------------- parameterized (m, t)
+
+struct BchConfig {
+    int m, t, n;
+};
+
+class BchParamSweep : public ::testing::TestWithParam<BchConfig> {};
+
+TEST_P(BchParamSweep, CorrectsExactlyTErrors) {
+    const auto& c = GetParam();
+    const db::BchCode code(c.m, c.t, c.n);
+    dvbs2::util::Xoshiro256pp rng(static_cast<std::uint64_t>(c.m * 100 + c.t));
+    const BitVec cw = code.encode(random_bits(code.k(), 1));
+    BitVec rx = cw;
+    std::set<int> pos;
+    while (static_cast<int>(pos.size()) < c.t)
+        pos.insert(static_cast<int>(rng.below(static_cast<std::uint64_t>(code.n()))));
+    for (int p : pos) rx.flip(static_cast<std::size_t>(p));
+    const auto res = code.decode(rx);
+    ASSERT_TRUE(res.success) << "m=" << c.m << " t=" << c.t;
+    EXPECT_EQ(res.errors_corrected, c.t);
+    EXPECT_EQ(res.codeword, cw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, BchParamSweep,
+                         ::testing::Values(BchConfig{5, 2, 31}, BchConfig{6, 4, 63},
+                                           BchConfig{7, 3, 127}, BchConfig{8, 8, 255},
+                                           BchConfig{10, 4, 1023}, BchConfig{10, 6, 600},
+                                           BchConfig{12, 5, 4000}, BchConfig{13, 4, 8191}),
+                         [](const auto& info) {
+                             return "m" + std::to_string(info.param.m) + "t" +
+                                    std::to_string(info.param.t) + "n" +
+                                    std::to_string(info.param.n);
+                         });

@@ -1,0 +1,290 @@
+// Tests for the code-construction library: the Table-1/Table-2 parameter
+// database, the synthetic IRA table generator and its structural guarantees,
+// and the Tanner-graph build. Parameterized over all standard rates.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "code/params.hpp"
+#include "code/tables.hpp"
+#include "code/tanner.hpp"
+#include "code/validate.hpp"
+
+namespace dc = dvbs2::code;
+
+// ------------------------------------------------------------- parameters
+
+TEST(Params, AllRatesListed) {
+    EXPECT_EQ(dc::all_rates().size(), 11u);
+    EXPECT_EQ(dc::rates_for(dc::FrameSize::Short).size(), 10u);
+}
+
+TEST(Params, RateLabels) {
+    EXPECT_EQ(dc::to_string(dc::CodeRate::R1_2), "1/2");
+    EXPECT_EQ(dc::to_string(dc::CodeRate::R9_10), "9/10");
+    EXPECT_DOUBLE_EQ(dc::rate_value(dc::CodeRate::R2_5), 0.4);
+}
+
+TEST(Params, PaperTable1RateHalf) {
+    // Paper Table 1/2 for R = 1/2: q = 90, check degree 7, E_IN = 162000,
+    // 450 address words.
+    const auto p = dc::standard_params(dc::CodeRate::R1_2);
+    EXPECT_EQ(p.n, 64800);
+    EXPECT_EQ(p.k, 32400);
+    EXPECT_EQ(p.q, 90);
+    EXPECT_EQ(p.deg_hi, 8);
+    EXPECT_EQ(p.n_hi, 12960);
+    EXPECT_EQ(p.check_deg, 7);
+    EXPECT_EQ(p.e_in(), 162000);
+    EXPECT_EQ(p.e_pn(), 2 * 32400 - 1);
+    EXPECT_EQ(p.addr_words(), 450);
+}
+
+TEST(Params, PaperTable2QFactors) {
+    // q = (N−K)/360 for every rate (paper Table 2).
+    const int expected_q[] = {135, 120, 108, 90, 72, 60, 45, 36, 30, 20, 18};
+    int i = 0;
+    for (auto rate : dc::all_rates()) {
+        EXPECT_EQ(dc::standard_params(rate).q, expected_q[i]) << dc::to_string(rate);
+        ++i;
+    }
+}
+
+TEST(Params, RateThreeFifthsHasMostInformationEdges) {
+    // The paper notes R = 3/5 sizes the IN message RAM (most edges).
+    long long emax = 0;
+    dc::CodeRate argmax = dc::CodeRate::R1_4;
+    for (auto rate : dc::all_rates()) {
+        const auto e = dc::standard_params(rate).e_in();
+        if (e > emax) {
+            emax = e;
+            argmax = rate;
+        }
+    }
+    EXPECT_EQ(argmax, dc::CodeRate::R3_5);
+    EXPECT_EQ(emax, 233280);
+}
+
+TEST(Params, RateQuarterHasLargestParitySet) {
+    // The paper notes R = 1/4 sizes the PN message memories.
+    int mmax = 0;
+    dc::CodeRate argmax = dc::CodeRate::R1_2;
+    for (auto rate : dc::all_rates()) {
+        const auto m = dc::standard_params(rate).m();
+        if (m > mmax) {
+            mmax = m;
+            argmax = rate;
+        }
+    }
+    EXPECT_EQ(argmax, dc::CodeRate::R1_4);
+    EXPECT_EQ(mmax, 48600);
+}
+
+class AllRatesTest : public ::testing::TestWithParam<dc::CodeRate> {};
+
+TEST_P(AllRatesTest, LongFrameEq6LoadBalance) {
+    const auto p = dc::standard_params(GetParam());
+    // Eq. 6: E_IN / 360 = q (k − 2); also checked inside validate(), assert
+    // the derived Table-2 column explicitly.
+    EXPECT_EQ(p.e_in(), 360LL * p.q * (p.check_deg - 2));
+    EXPECT_EQ(p.addr_words(), static_cast<long long>(p.q) * (p.check_deg - 2));
+}
+
+TEST_P(AllRatesTest, LongFrameGroupAlignment) {
+    const auto p = dc::standard_params(GetParam());
+    EXPECT_EQ(p.k % 360, 0);
+    EXPECT_EQ(p.m() % 360, 0);
+    EXPECT_EQ(p.n_hi % 360, 0);
+}
+
+TEST_P(AllRatesTest, ShortFrameParamsValid) {
+    if (GetParam() == dc::CodeRate::R9_10) GTEST_SKIP() << "9/10 undefined for short frames";
+    const auto p = dc::standard_params(GetParam(), dc::FrameSize::Short);
+    EXPECT_EQ(p.n, 16200);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_EQ(p.q, p.m() / 360);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AllRatesTest, ::testing::ValuesIn(dc::all_rates()),
+                         [](const auto& info) {
+                             std::string s = dc::to_string(info.param);
+                             for (auto& c : s)
+                                 if (c == '/') c = '_';
+                             return "R" + s;
+                         });
+
+TEST(Params, ValidateRejectsBrokenInvariants) {
+    auto p = dc::standard_params(dc::CodeRate::R1_2);
+    p.q = 89;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+
+    p = dc::standard_params(dc::CodeRate::R1_2);
+    p.n_hi += 1;  // breaks group alignment
+    EXPECT_THROW(p.validate(), std::runtime_error);
+
+    p = dc::standard_params(dc::CodeRate::R1_2);
+    p.check_deg = 8;  // breaks Eq. 6
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(Params, ShortNineTenthsThrows) {
+    EXPECT_THROW(dc::standard_params(dc::CodeRate::R9_10, dc::FrameSize::Short),
+                 std::runtime_error);
+}
+
+TEST(Params, ToyParamsDerivation) {
+    // p=12, q=5: M=60 checks; 2 hi groups of degree 6, 3 lo groups degree 3:
+    // E_IN = 12*(2*6+3*3) = 252... must divide M for regularity.
+    const auto p = dc::toy_params(12, 7, 2, 6, 3);
+    EXPECT_EQ(p.k, 60);
+    EXPECT_EQ(p.m(), 84);
+    EXPECT_EQ(p.e_in(), 12 * (2 * 6 + 3 * 3));
+    EXPECT_EQ(p.check_deg, 3 + 2);
+    EXPECT_NO_THROW(p.validate());
+}
+
+// ------------------------------------------------------------- generator
+
+TEST(Tables, DeterministicInSeed) {
+    const auto p = dc::standard_params(dc::CodeRate::R1_2);
+    const auto t1 = dc::generate_tables(p);
+    const auto t2 = dc::generate_tables(p);
+    ASSERT_EQ(t1.rows.size(), t2.rows.size());
+    for (std::size_t g = 0; g < t1.rows.size(); ++g) EXPECT_EQ(t1.rows[g], t2.rows[g]);
+}
+
+TEST(Tables, DifferentSeedsGiveDifferentTables) {
+    auto p = dc::standard_params(dc::CodeRate::R1_2);
+    const auto t1 = dc::generate_tables(p);
+    p.seed += 1;
+    const auto t2 = dc::generate_tables(p);
+    bool any_diff = false;
+    for (std::size_t g = 0; g < t1.rows.size() && !any_diff; ++g)
+        any_diff = t1.rows[g] != t2.rows[g];
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_P(AllRatesTest, GeneratorEntryCountMatchesAddr) {
+    const auto p = dc::standard_params(GetParam());
+    const auto t = dc::generate_tables(p);
+    EXPECT_EQ(static_cast<long long>(t.entry_count()), p.addr_words());
+}
+
+TEST_P(AllRatesTest, GeneratorResidueRegularity) {
+    // Each residue class mod q must hold exactly check_deg−2 entries: this
+    // is the property that makes every check node regular.
+    const auto p = dc::standard_params(GetParam());
+    const auto t = dc::generate_tables(p);
+    std::vector<int> residue_count(static_cast<std::size_t>(p.q), 0);
+    for (const auto& row : t.rows)
+        for (auto x : row) ++residue_count[x % static_cast<std::uint32_t>(p.q)];
+    for (int r = 0; r < p.q; ++r)
+        EXPECT_EQ(residue_count[static_cast<std::size_t>(r)], p.check_deg - 2) << "residue " << r;
+}
+
+TEST_P(AllRatesTest, GeneratorNoFourCycles) {
+    const auto p = dc::standard_params(GetParam());
+    const auto t = dc::generate_tables(p);
+    EXPECT_EQ(dc::count_information_4cycles(p, t), 0);
+}
+
+TEST_P(AllRatesTest, GeneratorRowDegreesAndRange) {
+    const auto p = dc::standard_params(GetParam());
+    const auto t = dc::generate_tables(p);
+    ASSERT_EQ(static_cast<int>(t.rows.size()), p.groups());
+    for (int g = 0; g < p.groups(); ++g) {
+        const auto& row = t.rows[static_cast<std::size_t>(g)];
+        EXPECT_EQ(static_cast<int>(row.size()),
+                  g < p.groups_hi() ? p.deg_hi : p.deg_lo);
+        std::set<std::uint32_t> uniq(row.begin(), row.end());
+        EXPECT_EQ(uniq.size(), row.size()) << "duplicate entry in group " << g;
+        for (auto x : row) EXPECT_LT(static_cast<int>(x), p.m());
+    }
+}
+
+// ------------------------------------------------------------- graph
+
+TEST(Tanner, ToyCodeStructure) {
+    const auto p = dc::toy_params(12, 7, 2, 6, 3);
+    const dc::Dvbs2Code code(p);
+    EXPECT_EQ(code.n(), p.n);
+    EXPECT_EQ(code.k(), p.k);
+    EXPECT_EQ(code.check_in_degree(), p.check_deg - 2);
+    // Per-variable degrees via accessors.
+    for (int v = 0; v < p.k; ++v)
+        EXPECT_EQ(code.info_degree(v), v < p.n_hi ? p.deg_hi : p.deg_lo);
+}
+
+TEST(Tanner, EdgeViewsAreConsistent) {
+    const auto p = dc::toy_params(12, 7, 2, 6, 3);
+    const dc::Dvbs2Code code(p);
+    // Every variable-major edge id must map back to this variable.
+    for (int v = 0; v < p.k; ++v) {
+        const auto* edges = code.info_edges(v);
+        for (int d = 0; d < code.info_degree(v); ++d)
+            EXPECT_EQ(code.edge_variable(edges[d]), v);
+    }
+    // Check-major slots of CN c are exactly the ids [c*kc, (c+1)*kc).
+    const int kc = code.check_in_degree();
+    for (long long e = 0; e < code.e_in(); ++e)
+        EXPECT_EQ(code.edge_check(e), static_cast<int>(e / kc));
+}
+
+TEST(Tanner, StructureAuditPassesToy) {
+    const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    const auto rep = dc::audit_structure(code);
+    EXPECT_TRUE(rep.all_ok()) << rep.detail;
+}
+
+TEST(Tanner, StructureAuditPassesRateHalfLong) {
+    const dc::Dvbs2Code code(dc::standard_params(dc::CodeRate::R1_2));
+    const auto rep = dc::audit_structure(code);
+    EXPECT_TRUE(rep.all_ok()) << rep.detail;
+    EXPECT_EQ(rep.e_in, 162000);
+}
+
+TEST(Tanner, CheckDegreeHistogramSingleBucket) {
+    const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    const auto hist = dc::check_degree_histogram(code);
+    long long total = std::accumulate(hist.begin(), hist.end(), 0LL);
+    EXPECT_EQ(total, code.m());
+    EXPECT_EQ(hist[static_cast<std::size_t>(code.check_in_degree())], code.m());
+}
+
+TEST(Tanner, SyndromeOfZeroWordIsZero) {
+    const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    dvbs2::util::BitVec zero(static_cast<std::size_t>(code.n()));
+    EXPECT_TRUE(code.is_codeword(zero));
+}
+
+TEST(Tanner, SingleBitErrorBreaksSyndrome) {
+    const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    for (int pos : {0, code.k() - 1, code.k(), code.n() - 1}) {
+        dvbs2::util::BitVec w(static_cast<std::size_t>(code.n()));
+        w.set(static_cast<std::size_t>(pos), true);
+        EXPECT_FALSE(code.is_codeword(w)) << "bit " << pos;
+        // The syndrome weight equals the bit's degree.
+        const auto s = code.syndrome(w);
+        if (pos < code.k())
+            EXPECT_EQ(s.count(), static_cast<std::size_t>(code.info_degree(pos)));
+        else if (pos == code.n() - 1)
+            EXPECT_EQ(s.count(), 1u);  // last parity bit has degree 1
+        else
+            EXPECT_EQ(s.count(), 2u);
+    }
+}
+
+TEST(Tanner, RejectsWrongRowCount) {
+    const auto p = dc::toy_params(12, 7, 2, 6, 3);
+    dc::IraTables t = dc::generate_tables(p);
+    t.rows.pop_back();
+    EXPECT_THROW(dc::Dvbs2Code(p, t), std::runtime_error);
+}
+
+TEST(Tanner, RejectsOutOfRangeEntry) {
+    const auto p = dc::toy_params(12, 7, 2, 6, 3);
+    dc::IraTables t = dc::generate_tables(p);
+    t.rows[0][0] = static_cast<std::uint32_t>(p.m());  // out of range
+    EXPECT_THROW(dc::Dvbs2Code(p, t), std::runtime_error);
+}

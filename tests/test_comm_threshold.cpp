@@ -1,0 +1,109 @@
+// Tests for the threshold-finding utility and the undetected-error
+// accounting of the BER harness (the metrics E7/E8 are built on).
+#include <gtest/gtest.h>
+
+#include "code/params.hpp"
+#include "code/tanner.hpp"
+#include "comm/ber.hpp"
+#include "comm/modem.hpp"
+#include "core/decoder.hpp"
+
+namespace dc = dvbs2::code;
+namespace dm = dvbs2::comm;
+namespace dd = dvbs2::core;
+using dvbs2::util::BitVec;
+
+namespace {
+
+const dc::Dvbs2Code& toy_code() {
+    static const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    return code;
+}
+
+dm::DecodeFn make_decoder_fn(dd::Decoder& dec) {
+    return [&dec](const std::vector<double>& llr) {
+        const auto r = dec.decode(llr);
+        return dm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
+    };
+}
+
+}  // namespace
+
+TEST(Threshold, FindsAPointWhereBerDropsBelowTarget) {
+    dd::DecoderConfig cfg;
+    cfg.max_iterations = 30;
+    dd::Decoder dec(toy_code(), cfg);
+    dm::SimConfig sim;
+    sim.limits.max_frames = 200;
+    sim.limits.min_frames = 50;
+    sim.limits.target_bit_errors = 50;
+    sim.limits.target_frame_errors = 10;
+    const double th = dm::find_threshold_db(toy_code(), make_decoder_fn(dec), 1e-3, 2.0, 1.0,
+                                            sim, 12.0);
+    // A toy (144,60) code decodes reliably somewhere in 4..10 dB.
+    EXPECT_GT(th, 2.0);
+    EXPECT_LT(th, 12.0);
+    // Verify the found point really meets the target.
+    const auto pt = dm::simulate_point(toy_code(), make_decoder_fn(dec), th, sim);
+    EXPECT_LT(pt.ber(static_cast<std::uint64_t>(toy_code().k())), 1e-3);
+}
+
+TEST(Threshold, ReturnsMaxWhenUnreachable) {
+    // A decoder that always fails never meets the target.
+    dm::DecodeFn broken = [&](const std::vector<double>&) {
+        dm::DecodeOutcome out;
+        out.info_bits = BitVec(static_cast<std::size_t>(toy_code().k()));
+        for (int i = 0; i < toy_code().k(); ++i)
+            out.info_bits.set(static_cast<std::size_t>(i), true);  // all wrong half the time
+        return out;
+    };
+    dm::SimConfig sim;
+    sim.limits.max_frames = 3;
+    sim.limits.min_frames = 1;
+    const double th = dm::find_threshold_db(toy_code(), broken, 1e-6, 0.0, 2.0, sim, 6.0);
+    EXPECT_DOUBLE_EQ(th, 6.0);
+}
+
+TEST(Threshold, RejectsNonPositiveStep) {
+    dd::DecoderConfig cfg;
+    dd::Decoder dec(toy_code(), cfg);
+    dm::SimConfig sim;
+    EXPECT_THROW(
+        dm::find_threshold_db(toy_code(), make_decoder_fn(dec), 1e-3, 0.0, 0.0, sim, 5.0),
+        std::runtime_error);
+}
+
+TEST(UndetectedErrors, ConvergedWrongWordIsCounted) {
+    // A malicious decoder that always claims convergence with flipped bits:
+    // every frame is an undetected error.
+    dm::DecodeFn liar = [&](const std::vector<double>& llr) {
+        dm::DecodeOutcome out;
+        out.info_bits = BitVec(static_cast<std::size_t>(toy_code().k()));
+        for (int i = 0; i < toy_code().k(); ++i)
+            if (llr[static_cast<std::size_t>(i)] >= 0)  // inverted decision
+                out.info_bits.set(static_cast<std::size_t>(i), true);
+        out.converged = true;
+        out.iterations = 1;
+        return out;
+    };
+    dm::SimConfig sim;
+    sim.limits.max_frames = 5;
+    sim.limits.min_frames = 5;
+    sim.limits.target_bit_errors = ~0ULL;
+    sim.limits.target_frame_errors = ~0ULL;
+    const auto pt = dm::simulate_point(toy_code(), liar, 8.0, sim);
+    EXPECT_EQ(pt.frame_errors, 5u);
+    EXPECT_EQ(pt.undetected_frame_errors, 5u);
+}
+
+TEST(UndetectedErrors, HonestDecoderReportsZeroAtHighSnr) {
+    dd::DecoderConfig cfg;
+    dd::Decoder dec(toy_code(), cfg);
+    dm::SimConfig sim;
+    sim.limits.max_frames = 20;
+    sim.limits.min_frames = 20;
+    sim.limits.target_bit_errors = ~0ULL;
+    sim.limits.target_frame_errors = ~0ULL;
+    const auto pt = dm::simulate_point(toy_code(), make_decoder_fn(dec), 9.0, sim);
+    EXPECT_EQ(pt.undetected_frame_errors, 0u);
+}

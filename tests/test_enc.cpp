@@ -1,0 +1,108 @@
+// Encoder tests: every encoded word must satisfy H·xᵀ = 0 (over toy and
+// full-size codes, for random and structured inputs), linearity over GF(2),
+// and the systematic property.
+#include <gtest/gtest.h>
+
+#include "code/params.hpp"
+#include "code/tanner.hpp"
+#include "enc/encoder.hpp"
+
+namespace dc = dvbs2::code;
+namespace de = dvbs2::enc;
+using dvbs2::util::BitVec;
+
+namespace {
+
+const dc::Dvbs2Code& toy_code() {
+    static const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    return code;
+}
+
+}  // namespace
+
+TEST(Encoder, ZeroMapsToZero) {
+    const de::Encoder enc(toy_code());
+    const BitVec cw = enc.encode(BitVec(static_cast<std::size_t>(toy_code().k())));
+    EXPECT_TRUE(cw.none());
+}
+
+TEST(Encoder, SystematicPrefix) {
+    const de::Encoder enc(toy_code());
+    const BitVec info = de::random_info_bits(toy_code().k(), 99);
+    const BitVec cw = enc.encode(info);
+    for (int v = 0; v < toy_code().k(); ++v)
+        EXPECT_EQ(cw.get(static_cast<std::size_t>(v)), info.get(static_cast<std::size_t>(v)));
+}
+
+TEST(Encoder, RandomWordsAreCodewords) {
+    const de::Encoder enc(toy_code());
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        const BitVec cw = enc.encode(de::random_info_bits(toy_code().k(), seed));
+        EXPECT_TRUE(toy_code().is_codeword(cw)) << "seed " << seed;
+    }
+}
+
+TEST(Encoder, SingleBitInputsAreCodewords) {
+    // Exercises every group/entry path of the accumulator individually.
+    const de::Encoder enc(toy_code());
+    for (int v = 0; v < toy_code().k(); ++v) {
+        BitVec info(static_cast<std::size_t>(toy_code().k()));
+        info.set(static_cast<std::size_t>(v), true);
+        EXPECT_TRUE(toy_code().is_codeword(enc.encode(info))) << "bit " << v;
+    }
+}
+
+TEST(Encoder, LinearityOverGf2) {
+    const de::Encoder enc(toy_code());
+    const BitVec a = de::random_info_bits(toy_code().k(), 1);
+    const BitVec b = de::random_info_bits(toy_code().k(), 2);
+    const BitVec sum_cw = enc.encode(a ^ b);
+    const BitVec cw_sum = enc.encode(a) ^ enc.encode(b);
+    EXPECT_EQ(sum_cw, cw_sum);
+}
+
+TEST(Encoder, RejectsWrongLength) {
+    const de::Encoder enc(toy_code());
+    EXPECT_THROW(enc.encode(BitVec(static_cast<std::size_t>(toy_code().k() + 1))),
+                 std::runtime_error);
+}
+
+TEST(Encoder, EncodeCheckedPasses) {
+    const de::Encoder enc(toy_code());
+    EXPECT_NO_THROW(enc.encode_checked(de::random_info_bits(toy_code().k(), 5)));
+}
+
+class EncoderAllRates : public ::testing::TestWithParam<dc::CodeRate> {};
+
+TEST_P(EncoderAllRates, FullSizeEncodeIsValid) {
+    const dc::Dvbs2Code code(dc::standard_params(GetParam()));
+    const de::Encoder enc(code);
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const BitVec cw = enc.encode(de::random_info_bits(code.k(), seed));
+        EXPECT_TRUE(code.is_codeword(cw)) << dc::to_string(GetParam()) << " seed " << seed;
+    }
+}
+
+TEST_P(EncoderAllRates, ShortFrameEncodeIsValid) {
+    if (GetParam() == dc::CodeRate::R9_10) GTEST_SKIP();
+    const dc::Dvbs2Code code(dc::standard_params(GetParam(), dc::FrameSize::Short));
+    const de::Encoder enc(code);
+    const BitVec cw = enc.encode(de::random_info_bits(code.k(), 7));
+    EXPECT_TRUE(code.is_codeword(cw));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, EncoderAllRates, ::testing::ValuesIn(dc::all_rates()),
+                         [](const auto& info) {
+                             std::string s = dc::to_string(info.param);
+                             for (auto& c : s)
+                                 if (c == '/') c = '_';
+                             return "R" + s;
+                         });
+
+TEST(RandomInfoBits, DeterministicAndBalanced) {
+    const BitVec a = de::random_info_bits(10000, 3);
+    const BitVec b = de::random_info_bits(10000, 3);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.count(), 4500u);
+    EXPECT_LT(a.count(), 5500u);
+}

@@ -1,0 +1,64 @@
+// Golden regression tests: the synthetic code tables are part of this
+// library's reproducibility contract — experiments cite "the rate-R code
+// with seed S". These tests pin an FNV-1a fingerprint of every standard
+// table so that any change to the generator (intentional or not) is caught
+// and forces a conscious fingerprint update alongside a re-run of
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "code/params.hpp"
+#include "code/tables.hpp"
+
+namespace dc = dvbs2::code;
+
+namespace {
+
+std::uint64_t fingerprint(const dc::IraTables& tables) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xFF;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(tables.rows.size());
+    for (const auto& row : tables.rows) {
+        mix(row.size());
+        for (auto x : row) mix(x);
+    }
+    return h;
+}
+
+}  // namespace
+
+TEST(Golden, FingerprintIsStableAcrossCalls) {
+    const auto p = dc::standard_params(dc::CodeRate::R1_2);
+    EXPECT_EQ(fingerprint(dc::generate_tables(p)), fingerprint(dc::generate_tables(p)));
+}
+
+TEST(Golden, FingerprintDependsOnSeed) {
+    auto p = dc::standard_params(dc::CodeRate::R1_2);
+    const auto f1 = fingerprint(dc::generate_tables(p));
+    p.seed ^= 1;
+    EXPECT_NE(fingerprint(dc::generate_tables(p)), f1);
+}
+
+TEST(Golden, AllStandardLongFrameTablesArePinned) {
+    // Pinned values: regenerate with
+    //   for each rate: print fingerprint(generate_tables(standard_params(r)))
+    // and update both this table and EXPERIMENTS.md when the generator
+    // changes on purpose.
+    struct Pin {
+        dc::CodeRate rate;
+        std::uint64_t fp;
+    };
+    const Pin pins[] = {
+#include "golden_pins.inc"
+    };
+    for (const auto& pin : pins) {
+        const auto p = dc::standard_params(pin.rate);
+        EXPECT_EQ(fingerprint(dc::generate_tables(p)), pin.fp) << dc::to_string(pin.rate);
+    }
+}

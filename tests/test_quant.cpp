@@ -1,0 +1,111 @@
+// Unit tests for the fixed-point LLR arithmetic: quantizer round-trip,
+// saturation behaviour, boxplus-LUT accuracy against the exact operator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/fixed.hpp"
+#include "util/math.hpp"
+
+namespace dq = dvbs2::quant;
+
+TEST(QuantSpec, SixBitRanges) {
+    EXPECT_EQ(dq::kQuant6.max_raw(), 31);
+    EXPECT_EQ(dq::kQuant6.min_raw(), -31);
+    EXPECT_DOUBLE_EQ(dq::kQuant6.step(), 0.25);
+    EXPECT_DOUBLE_EQ(dq::kQuant6.max_value(), 7.75);
+}
+
+TEST(QuantSpec, FiveBitRanges) {
+    EXPECT_EQ(dq::kQuant5.max_raw(), 15);
+    EXPECT_DOUBLE_EQ(dq::kQuant5.step(), 0.5);
+    EXPECT_DOUBLE_EQ(dq::kQuant5.max_value(), 7.5);
+}
+
+TEST(Quantize, RoundsToNearest) {
+    EXPECT_EQ(dq::quantize(0.0, dq::kQuant6), 0);
+    EXPECT_EQ(dq::quantize(0.25, dq::kQuant6), 1);
+    EXPECT_EQ(dq::quantize(0.30, dq::kQuant6), 1);
+    EXPECT_EQ(dq::quantize(-0.30, dq::kQuant6), -1);
+    EXPECT_EQ(dq::quantize(1.0, dq::kQuant6), 4);
+}
+
+TEST(Quantize, SaturatesSymmetrically) {
+    EXPECT_EQ(dq::quantize(100.0, dq::kQuant6), 31);
+    EXPECT_EQ(dq::quantize(-100.0, dq::kQuant6), -31);
+    EXPECT_EQ(dq::quantize(1e12, dq::kQuant6), 31);
+    EXPECT_EQ(dq::quantize(-1e12, dq::kQuant6), -31);
+}
+
+TEST(Quantize, DequantizeRoundTripWithinHalfStep) {
+    for (double x = -7.7; x <= 7.7; x += 0.013) {
+        const auto raw = dq::quantize(x, dq::kQuant6);
+        EXPECT_NEAR(dq::dequantize(raw, dq::kQuant6), x, dq::kQuant6.step() / 2 + 1e-12);
+    }
+}
+
+TEST(SatAdd, SaturatesBothWays) {
+    EXPECT_EQ(dq::sat_add(30, 30, dq::kQuant6), 31);
+    EXPECT_EQ(dq::sat_add(-30, -30, dq::kQuant6), -31);
+    EXPECT_EQ(dq::sat_add(10, -3, dq::kQuant6), 7);
+}
+
+TEST(BoxplusTable, SpecMismatchDetection) {
+    dq::BoxplusTable t5(dq::kQuant5);
+    EXPECT_EQ(t5.spec(), dq::kQuant5);
+}
+
+TEST(BoxplusTable, MatchesExactOperatorWithinOneStep) {
+    dq::BoxplusTable t(dq::kQuant6);
+    const double step = dq::kQuant6.step();
+    for (int a = -31; a <= 31; a += 3) {
+        for (int b = -31; b <= 31; b += 3) {
+            const double exact = dvbs2::util::boxplus_exact(a * step, b * step);
+            const double got = dq::dequantize(t.boxplus(a, b), dq::kQuant6);
+            EXPECT_NEAR(got, exact, 1.5 * step) << a << " " << b;
+        }
+    }
+}
+
+TEST(BoxplusTable, ZeroAbsorbs) {
+    dq::BoxplusTable t(dq::kQuant6);
+    for (int a = -31; a <= 31; a += 5) EXPECT_EQ(t.boxplus(a, 0), 0);
+}
+
+TEST(BoxplusTable, SignRule) {
+    dq::BoxplusTable t(dq::kQuant6);
+    EXPECT_GT(t.boxplus(20, 20), 0);
+    EXPECT_LT(t.boxplus(20, -20), 0);
+    EXPECT_GT(t.boxplus(-20, -20), 0);
+}
+
+TEST(BoxplusTable, CommutativeOverFullRange) {
+    dq::BoxplusTable t(dq::kQuant6);
+    for (int a = -31; a <= 31; a += 2)
+        for (int b = -31; b <= 31; b += 2) EXPECT_EQ(t.boxplus(a, b), t.boxplus(b, a));
+}
+
+TEST(BoxplusTable, MagnitudeNeverExceedsMinInput) {
+    // |a ⊞ b| ≤ min(|a|,|b|) + corr(0); with rounding it must stay within
+    // one step above the min magnitude.
+    dq::BoxplusTable t(dq::kQuant6);
+    for (int a = -31; a <= 31; a += 2) {
+        for (int b = -31; b <= 31; b += 2) {
+            const int m = std::min(std::abs(a), std::abs(b));
+            EXPECT_LE(std::abs(t.boxplus(a, b)), m + 3) << a << " " << b;
+        }
+    }
+}
+
+TEST(MinSumRaw, MatchesDefinition) {
+    EXPECT_EQ(dq::boxplus_minsum_raw(5, 9), 5);
+    EXPECT_EQ(dq::boxplus_minsum_raw(-5, 9), -5);
+    EXPECT_EQ(dq::boxplus_minsum_raw(-5, -9), 5);
+    EXPECT_EQ(dq::boxplus_minsum_raw(0, -9), 0);
+}
+
+TEST(BoxplusTable, RejectsBadSpecs) {
+    EXPECT_THROW(dq::BoxplusTable(dq::QuantSpec{1, 0}), std::runtime_error);
+    EXPECT_THROW(dq::BoxplusTable(dq::QuantSpec{6, 6}), std::runtime_error);
+    EXPECT_THROW(dq::BoxplusTable(dq::QuantSpec{20, 2}), std::runtime_error);
+}

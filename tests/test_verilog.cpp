@@ -1,0 +1,182 @@
+// Tests for the Verilog generators: structural validity of the emitted RTL
+// (ports, stages, ROM contents), golden-vector integrity (counts, widths,
+// exact agreement with the C++ reference models), and determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/shuffle.hpp"
+#include "arch/verilog.hpp"
+#include "code/params.hpp"
+#include "code/tanner.hpp"
+
+namespace da = dvbs2::arch;
+namespace dc = dvbs2::code;
+namespace dq = dvbs2::quant;
+
+namespace {
+
+int count_lines(const std::string& s) {
+    int n = 0;
+    for (char c : s)
+        if (c == '\n') ++n;
+    return n;
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+    int n = 0;
+    for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + 1))
+        ++n;
+    return n;
+}
+
+/// Parses one hex vector line into bits (MSB first).
+std::vector<bool> hex_to_bits(const std::string& line) {
+    std::vector<bool> bits;
+    for (char c : line) {
+        int v = -1;
+        if (c >= '0' && c <= '9') v = c - '0';
+        if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+        if (v < 0) continue;
+        for (int b = 3; b >= 0; --b) bits.push_back(((v >> b) & 1) != 0);
+    }
+    return bits;
+}
+
+std::uint64_t take_bits(const std::vector<bool>& bits, std::size_t start, int count) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < count; ++i) v = (v << 1) | (bits[start + static_cast<std::size_t>(i)] ? 1u : 0u);
+    return v;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- barrel
+
+TEST(VerilogShifter, ModuleStructure) {
+    const auto b = da::generate_barrel_shifter(8, 6, 16);
+    EXPECT_EQ(b.module_name, "barrel_shifter_l8_w6");
+    EXPECT_NE(b.module_source.find("module barrel_shifter_l8_w6"), std::string::npos);
+    EXPECT_NE(b.module_source.find("endmodule"), std::string::npos);
+    // ceil(log2 8) = 3 mux stages.
+    EXPECT_EQ(count_occurrences(b.module_source, "generate for"), 3);
+    EXPECT_NE(b.testbench_source.find("$readmemh(\"barrel_shifter_l8_w6.tv\""),
+              std::string::npos);
+    EXPECT_EQ(count_lines(b.vectors), 16);
+    EXPECT_EQ(b.vector_count, 16);
+}
+
+TEST(VerilogShifter, NonPowerOfTwoLanes) {
+    const auto b = da::generate_barrel_shifter(360, 6, 4);
+    // ceil(log2 360) = 9 stages, rotations mod 360.
+    EXPECT_EQ(count_occurrences(b.module_source, "generate for"), 9);
+    EXPECT_NE(b.module_source.find("% 360"), std::string::npos);
+}
+
+TEST(VerilogShifter, GoldenVectorsMatchRotateLanes) {
+    const int lanes = 8, width = 6, s_bits = 3;
+    const auto b = da::generate_barrel_shifter(lanes, width, 32, 7);
+    std::istringstream is(b.vectors);
+    std::string line;
+    int checked = 0;
+    while (std::getline(is, line)) {
+        const auto bits = hex_to_bits(line);
+        const int vec_bits = 2 * lanes * width + s_bits;
+        const std::size_t pad = bits.size() - static_cast<std::size_t>(vec_bits);
+        // Fields: din lanes (L-1 .. 0), shift, expected lanes (L-1 .. 0).
+        std::vector<std::uint64_t> din(static_cast<std::size_t>(lanes));
+        for (int i = 0; i < lanes; ++i)
+            din[static_cast<std::size_t>(lanes - 1 - i)] =
+                take_bits(bits, pad + static_cast<std::size_t>(i * width), width);
+        const int shift =
+            static_cast<int>(take_bits(bits, pad + static_cast<std::size_t>(lanes * width), s_bits));
+        std::vector<std::uint64_t> expected(static_cast<std::size_t>(lanes));
+        for (int i = 0; i < lanes; ++i)
+            expected[static_cast<std::size_t>(lanes - 1 - i)] = take_bits(
+                bits, pad + static_cast<std::size_t>(lanes * width + s_bits + i * width), width);
+        EXPECT_EQ(da::rotate_lanes(din, shift), expected) << "vector " << checked;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 32);
+}
+
+TEST(VerilogShifter, DeterministicInSeed) {
+    const auto a = da::generate_barrel_shifter(8, 6, 8, 3);
+    const auto b = da::generate_barrel_shifter(8, 6, 8, 3);
+    EXPECT_EQ(a.vectors, b.vectors);
+    EXPECT_EQ(a.module_source, b.module_source);
+}
+
+// ------------------------------------------------------------- boxplus
+
+TEST(VerilogBoxplus, ModuleStructure) {
+    const auto b = da::generate_boxplus_unit(dq::kQuant6);
+    EXPECT_EQ(b.module_name, "boxplus_w6");
+    EXPECT_NE(b.module_source.find("function automatic signed"), std::string::npos);
+    EXPECT_NE(b.module_source.find("endmodule"), std::string::npos);
+    // Exhaustive vectors: (2*31+1)^2.
+    EXPECT_EQ(b.vector_count, 63 * 63);
+    EXPECT_EQ(count_lines(b.vectors), 63 * 63);
+}
+
+TEST(VerilogBoxplus, VectorsAreExactTableOutputs) {
+    const auto b = da::generate_boxplus_unit(dq::kQuant5);
+    const dq::BoxplusTable table(dq::kQuant5);
+    const int w = 5;
+    std::istringstream is(b.vectors);
+    std::string line;
+    int checked = 0;
+    while (std::getline(is, line)) {
+        const auto bits = hex_to_bits(line);
+        const std::size_t pad = bits.size() - static_cast<std::size_t>(3 * w);
+        auto sign_extend = [&](std::uint64_t v) {
+            return static_cast<dq::QLLR>((v & (1ULL << (w - 1))) ? static_cast<long long>(v) - (1LL << w)
+                                                                 : static_cast<long long>(v));
+        };
+        const auto a = sign_extend(take_bits(bits, pad, w));
+        const auto bb = sign_extend(take_bits(bits, pad + static_cast<std::size_t>(w), w));
+        const auto y = sign_extend(take_bits(bits, pad + static_cast<std::size_t>(2 * w), w));
+        EXPECT_EQ(y, table.boxplus(a, bb)) << "a=" << a << " b=" << bb;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 31 * 31);
+}
+
+TEST(VerilogBoxplus, CorrectionRomOmitsZeros) {
+    // The case table only lists non-zero corrections (defaults to 0).
+    const auto b = da::generate_boxplus_unit(dq::kQuant6);
+    const dq::BoxplusTable table(dq::kQuant6);
+    int nonzero = 0;
+    for (dq::QLLR i = 0; i <= 62; ++i)
+        if (table.corr(i) != 0) ++nonzero;
+    // +1 for the "default: corr = 0;" arm.
+    EXPECT_EQ(count_occurrences(b.module_source, ": corr ="), nonzero + 1);
+}
+
+TEST(VerilogBoxplus, RejectsUnsupportedWidths) {
+    EXPECT_THROW(da::generate_boxplus_unit(dq::QuantSpec{2, 0}), std::runtime_error);
+    EXPECT_THROW(da::generate_boxplus_unit(dq::QuantSpec{12, 4}), std::runtime_error);
+}
+
+// ------------------------------------------------------------- config ROM
+
+TEST(VerilogRom, RomMatchesImage) {
+    const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    const da::HardwareMapping map(code);
+    const auto img = da::build_rom_image(map);
+    const auto b = da::generate_config_rom(map, "toy");
+    EXPECT_EQ(b.module_name, "cfg_rom_rtoy");
+    EXPECT_EQ(b.vector_count, static_cast<int>(img.words.size()));
+    // Every word literal appears in the initial block.
+    EXPECT_EQ(count_occurrences(b.module_source, "mem["), static_cast<int>(img.words.size()) + 1);
+    EXPECT_NE(b.module_source.find("always @(posedge clk)"), std::string::npos);
+}
+
+TEST(VerilogRom, RateLabelSanitized) {
+    const dc::Dvbs2Code code(dc::standard_params(dc::CodeRate::R8_9));
+    const da::HardwareMapping map(code);
+    const auto b = da::generate_config_rom(map, "8/9");
+    EXPECT_EQ(b.module_name, "cfg_rom_r8_9");
+    EXPECT_EQ(b.vector_count, 500);  // Table 2 Addr for 8/9
+}
