@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_girth"
+  "../bench/bench_ablation_girth.pdb"
+  "CMakeFiles/bench_ablation_girth.dir/bench_ablation_girth.cpp.o"
+  "CMakeFiles/bench_ablation_girth.dir/bench_ablation_girth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_girth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

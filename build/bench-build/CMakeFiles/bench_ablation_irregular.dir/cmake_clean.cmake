@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_irregular"
+  "../bench/bench_ablation_irregular.pdb"
+  "CMakeFiles/bench_ablation_irregular.dir/bench_ablation_irregular.cpp.o"
+  "CMakeFiles/bench_ablation_irregular.dir/bench_ablation_irregular.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_parallel"
+  "../bench/bench_baseline_parallel.pdb"
+  "CMakeFiles/bench_baseline_parallel.dir/bench_baseline_parallel.cpp.o"
+  "CMakeFiles/bench_baseline_parallel.dir/bench_baseline_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_density_evolution"
+  "../bench/bench_density_evolution.pdb"
+  "CMakeFiles/bench_density_evolution.dir/bench_density_evolution.cpp.o"
+  "CMakeFiles/bench_density_evolution.dir/bench_density_evolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_density_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

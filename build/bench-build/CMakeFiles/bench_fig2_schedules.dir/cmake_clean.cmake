@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_schedules"
+  "../bench/bench_fig2_schedules.pdb"
+  "CMakeFiles/bench_fig2_schedules.dir/bench_fig2_schedules.cpp.o"
+  "CMakeFiles/bench_fig2_schedules.dir/bench_fig2_schedules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

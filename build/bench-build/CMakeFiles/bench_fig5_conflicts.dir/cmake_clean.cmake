@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_conflicts"
+  "../bench/bench_fig5_conflicts.pdb"
+  "CMakeFiles/bench_fig5_conflicts.dir/bench_fig5_conflicts.cpp.o"
+  "CMakeFiles/bench_fig5_conflicts.dir/bench_fig5_conflicts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

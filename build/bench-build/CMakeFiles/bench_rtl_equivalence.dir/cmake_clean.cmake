@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rtl_equivalence"
+  "../bench/bench_rtl_equivalence.pdb"
+  "CMakeFiles/bench_rtl_equivalence.dir/bench_rtl_equivalence.cpp.o"
+  "CMakeFiles/bench_rtl_equivalence.dir/bench_rtl_equivalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtl_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_shannon_gap"
+  "../bench/bench_shannon_gap.pdb"
+  "CMakeFiles/bench_shannon_gap.dir/bench_shannon_gap.cpp.o"
+  "CMakeFiles/bench_shannon_gap.dir/bench_shannon_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shannon_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

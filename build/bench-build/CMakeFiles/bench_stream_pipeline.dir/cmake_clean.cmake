@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stream_pipeline"
+  "../bench/bench_stream_pipeline.pdb"
+  "CMakeFiles/bench_stream_pipeline.dir/bench_stream_pipeline.cpp.o"
+  "CMakeFiles/bench_stream_pipeline.dir/bench_stream_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

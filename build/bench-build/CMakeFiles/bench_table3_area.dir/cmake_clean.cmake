@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_area"
+  "../bench/bench_table3_area.pdb"
+  "CMakeFiles/bench_table3_area.dir/bench_table3_area.cpp.o"
+  "CMakeFiles/bench_table3_area.dir/bench_table3_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

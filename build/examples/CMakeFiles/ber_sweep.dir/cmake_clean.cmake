@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ber_sweep.dir/ber_sweep.cpp.o"
+  "CMakeFiles/ber_sweep.dir/ber_sweep.cpp.o.d"
+  "ber_sweep"
+  "ber_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ber_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_chain.dir/fec_chain.cpp.o"
+  "CMakeFiles/fec_chain.dir/fec_chain.cpp.o.d"
+  "fec_chain"
+  "fec_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_sim.dir/hardware_sim.cpp.o"
+  "CMakeFiles/hardware_sim.dir/hardware_sim.cpp.o.d"
+  "hardware_sim"
+  "hardware_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_explorer.dir/ip_explorer.cpp.o"
+  "CMakeFiles/ip_explorer.dir/ip_explorer.cpp.o.d"
+  "ip_explorer"
+  "ip_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_viz.dir/schedule_viz.cpp.o"
+  "CMakeFiles/schedule_viz.dir/schedule_viz.cpp.o.d"
+  "schedule_viz"
+  "schedule_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/anneal.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/anneal.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/anneal.cpp.o.d"
+  "/root/repo/src/arch/area.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/area.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/area.cpp.o.d"
+  "/root/repo/src/arch/baselines.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/baselines.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/baselines.cpp.o.d"
+  "/root/repo/src/arch/conflict.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/conflict.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/conflict.cpp.o.d"
+  "/root/repo/src/arch/energy.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/energy.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/energy.cpp.o.d"
+  "/root/repo/src/arch/ip_core.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/ip_core.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/ip_core.cpp.o.d"
+  "/root/repo/src/arch/mapping.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/mapping.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/mapping.cpp.o.d"
+  "/root/repo/src/arch/rom_image.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/rom_image.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/rom_image.cpp.o.d"
+  "/root/repo/src/arch/rtl_model.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/rtl_model.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/rtl_model.cpp.o.d"
+  "/root/repo/src/arch/stream.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/stream.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/stream.cpp.o.d"
+  "/root/repo/src/arch/throughput.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/throughput.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/throughput.cpp.o.d"
+  "/root/repo/src/arch/verilog.cpp" "src/arch/CMakeFiles/dvbs2_arch.dir/verilog.cpp.o" "gcc" "src/arch/CMakeFiles/dvbs2_arch.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dvbs2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/code/CMakeFiles/dvbs2_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/dvbs2_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dvbs2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

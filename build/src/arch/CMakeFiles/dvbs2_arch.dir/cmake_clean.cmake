@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_arch.dir/anneal.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/anneal.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/area.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/area.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/baselines.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/baselines.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/conflict.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/conflict.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/energy.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/energy.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/ip_core.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/ip_core.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/mapping.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/mapping.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/rom_image.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/rom_image.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/rtl_model.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/rtl_model.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/stream.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/stream.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/throughput.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/throughput.cpp.o.d"
+  "CMakeFiles/dvbs2_arch.dir/verilog.cpp.o"
+  "CMakeFiles/dvbs2_arch.dir/verilog.cpp.o.d"
+  "libdvbs2_arch.a"
+  "libdvbs2_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

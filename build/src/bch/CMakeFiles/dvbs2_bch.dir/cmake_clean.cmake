@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_bch.dir/bch.cpp.o"
+  "CMakeFiles/dvbs2_bch.dir/bch.cpp.o.d"
+  "CMakeFiles/dvbs2_bch.dir/gf.cpp.o"
+  "CMakeFiles/dvbs2_bch.dir/gf.cpp.o.d"
+  "libdvbs2_bch.a"
+  "libdvbs2_bch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_bch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

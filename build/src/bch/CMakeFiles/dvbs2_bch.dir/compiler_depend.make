@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dvbs2_bch.
+# This may be replaced when dependencies are built.

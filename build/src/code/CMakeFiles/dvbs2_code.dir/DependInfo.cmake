@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/code/girth.cpp" "src/code/CMakeFiles/dvbs2_code.dir/girth.cpp.o" "gcc" "src/code/CMakeFiles/dvbs2_code.dir/girth.cpp.o.d"
+  "/root/repo/src/code/params.cpp" "src/code/CMakeFiles/dvbs2_code.dir/params.cpp.o" "gcc" "src/code/CMakeFiles/dvbs2_code.dir/params.cpp.o.d"
+  "/root/repo/src/code/profile_solver.cpp" "src/code/CMakeFiles/dvbs2_code.dir/profile_solver.cpp.o" "gcc" "src/code/CMakeFiles/dvbs2_code.dir/profile_solver.cpp.o.d"
+  "/root/repo/src/code/table_io.cpp" "src/code/CMakeFiles/dvbs2_code.dir/table_io.cpp.o" "gcc" "src/code/CMakeFiles/dvbs2_code.dir/table_io.cpp.o.d"
+  "/root/repo/src/code/tables.cpp" "src/code/CMakeFiles/dvbs2_code.dir/tables.cpp.o" "gcc" "src/code/CMakeFiles/dvbs2_code.dir/tables.cpp.o.d"
+  "/root/repo/src/code/tanner.cpp" "src/code/CMakeFiles/dvbs2_code.dir/tanner.cpp.o" "gcc" "src/code/CMakeFiles/dvbs2_code.dir/tanner.cpp.o.d"
+  "/root/repo/src/code/validate.cpp" "src/code/CMakeFiles/dvbs2_code.dir/validate.cpp.o" "gcc" "src/code/CMakeFiles/dvbs2_code.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dvbs2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

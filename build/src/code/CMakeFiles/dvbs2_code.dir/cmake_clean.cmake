@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_code.dir/girth.cpp.o"
+  "CMakeFiles/dvbs2_code.dir/girth.cpp.o.d"
+  "CMakeFiles/dvbs2_code.dir/params.cpp.o"
+  "CMakeFiles/dvbs2_code.dir/params.cpp.o.d"
+  "CMakeFiles/dvbs2_code.dir/profile_solver.cpp.o"
+  "CMakeFiles/dvbs2_code.dir/profile_solver.cpp.o.d"
+  "CMakeFiles/dvbs2_code.dir/table_io.cpp.o"
+  "CMakeFiles/dvbs2_code.dir/table_io.cpp.o.d"
+  "CMakeFiles/dvbs2_code.dir/tables.cpp.o"
+  "CMakeFiles/dvbs2_code.dir/tables.cpp.o.d"
+  "CMakeFiles/dvbs2_code.dir/tanner.cpp.o"
+  "CMakeFiles/dvbs2_code.dir/tanner.cpp.o.d"
+  "CMakeFiles/dvbs2_code.dir/validate.cpp.o"
+  "CMakeFiles/dvbs2_code.dir/validate.cpp.o.d"
+  "libdvbs2_code.a"
+  "libdvbs2_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

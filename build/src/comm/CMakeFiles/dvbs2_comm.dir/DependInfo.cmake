@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/ber.cpp" "src/comm/CMakeFiles/dvbs2_comm.dir/ber.cpp.o" "gcc" "src/comm/CMakeFiles/dvbs2_comm.dir/ber.cpp.o.d"
+  "/root/repo/src/comm/capacity.cpp" "src/comm/CMakeFiles/dvbs2_comm.dir/capacity.cpp.o" "gcc" "src/comm/CMakeFiles/dvbs2_comm.dir/capacity.cpp.o.d"
+  "/root/repo/src/comm/constellation.cpp" "src/comm/CMakeFiles/dvbs2_comm.dir/constellation.cpp.o" "gcc" "src/comm/CMakeFiles/dvbs2_comm.dir/constellation.cpp.o.d"
+  "/root/repo/src/comm/density_evolution.cpp" "src/comm/CMakeFiles/dvbs2_comm.dir/density_evolution.cpp.o" "gcc" "src/comm/CMakeFiles/dvbs2_comm.dir/density_evolution.cpp.o.d"
+  "/root/repo/src/comm/interleaver.cpp" "src/comm/CMakeFiles/dvbs2_comm.dir/interleaver.cpp.o" "gcc" "src/comm/CMakeFiles/dvbs2_comm.dir/interleaver.cpp.o.d"
+  "/root/repo/src/comm/modem.cpp" "src/comm/CMakeFiles/dvbs2_comm.dir/modem.cpp.o" "gcc" "src/comm/CMakeFiles/dvbs2_comm.dir/modem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/code/CMakeFiles/dvbs2_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/enc/CMakeFiles/dvbs2_enc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dvbs2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

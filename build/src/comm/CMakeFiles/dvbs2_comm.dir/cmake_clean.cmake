@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_comm.dir/ber.cpp.o"
+  "CMakeFiles/dvbs2_comm.dir/ber.cpp.o.d"
+  "CMakeFiles/dvbs2_comm.dir/capacity.cpp.o"
+  "CMakeFiles/dvbs2_comm.dir/capacity.cpp.o.d"
+  "CMakeFiles/dvbs2_comm.dir/constellation.cpp.o"
+  "CMakeFiles/dvbs2_comm.dir/constellation.cpp.o.d"
+  "CMakeFiles/dvbs2_comm.dir/density_evolution.cpp.o"
+  "CMakeFiles/dvbs2_comm.dir/density_evolution.cpp.o.d"
+  "CMakeFiles/dvbs2_comm.dir/interleaver.cpp.o"
+  "CMakeFiles/dvbs2_comm.dir/interleaver.cpp.o.d"
+  "CMakeFiles/dvbs2_comm.dir/modem.cpp.o"
+  "CMakeFiles/dvbs2_comm.dir/modem.cpp.o.d"
+  "libdvbs2_comm.a"
+  "libdvbs2_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_core.dir/decoder.cpp.o"
+  "CMakeFiles/dvbs2_core.dir/decoder.cpp.o.d"
+  "libdvbs2_core.a"
+  "libdvbs2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

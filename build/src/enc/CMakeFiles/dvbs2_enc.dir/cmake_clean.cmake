@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_enc.dir/encoder.cpp.o"
+  "CMakeFiles/dvbs2_enc.dir/encoder.cpp.o.d"
+  "libdvbs2_enc.a"
+  "libdvbs2_enc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_enc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dvbs2_enc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_quant.dir/fixed.cpp.o"
+  "CMakeFiles/dvbs2_quant.dir/fixed.cpp.o.d"
+  "libdvbs2_quant.a"
+  "libdvbs2_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

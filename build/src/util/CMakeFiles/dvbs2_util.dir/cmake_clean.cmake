@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_util.dir/bitvec.cpp.o"
+  "CMakeFiles/dvbs2_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/dvbs2_util.dir/cli.cpp.o"
+  "CMakeFiles/dvbs2_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dvbs2_util.dir/csv.cpp.o"
+  "CMakeFiles/dvbs2_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dvbs2_util.dir/prng.cpp.o"
+  "CMakeFiles/dvbs2_util.dir/prng.cpp.o.d"
+  "CMakeFiles/dvbs2_util.dir/stats.cpp.o"
+  "CMakeFiles/dvbs2_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dvbs2_util.dir/table.cpp.o"
+  "CMakeFiles/dvbs2_util.dir/table.cpp.o.d"
+  "libdvbs2_util.a"
+  "libdvbs2_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvbs2_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_stream.dir/test_arch_stream.cpp.o"
+  "CMakeFiles/test_arch_stream.dir/test_arch_stream.cpp.o.d"
+  "test_arch_stream"
+  "test_arch_stream.pdb"
+  "test_arch_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

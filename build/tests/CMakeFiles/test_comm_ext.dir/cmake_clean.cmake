@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_ext.dir/test_comm_ext.cpp.o"
+  "CMakeFiles/test_comm_ext.dir/test_comm_ext.cpp.o.d"
+  "test_comm_ext"
+  "test_comm_ext.pdb"
+  "test_comm_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

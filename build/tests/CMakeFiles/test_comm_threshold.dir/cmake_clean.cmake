@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_threshold.dir/test_comm_threshold.cpp.o"
+  "CMakeFiles/test_comm_threshold.dir/test_comm_threshold.cpp.o.d"
+  "test_comm_threshold"
+  "test_comm_threshold.pdb"
+  "test_comm_threshold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

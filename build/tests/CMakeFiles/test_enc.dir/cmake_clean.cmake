@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enc.dir/test_enc.cpp.o"
+  "CMakeFiles/test_enc.dir/test_enc.cpp.o.d"
+  "test_enc"
+  "test_enc.pdb"
+  "test_enc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_girth.dir/test_girth.cpp.o"
+  "CMakeFiles/test_girth.dir/test_girth.cpp.o.d"
+  "test_girth"
+  "test_girth.pdb"
+  "test_girth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_girth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

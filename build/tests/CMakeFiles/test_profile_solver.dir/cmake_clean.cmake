@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_solver.dir/test_profile_solver.cpp.o"
+  "CMakeFiles/test_profile_solver.dir/test_profile_solver.cpp.o.d"
+  "test_profile_solver"
+  "test_profile_solver.pdb"
+  "test_profile_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/test_util.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/dvbs2_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dvbs2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dvbs2_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/enc/CMakeFiles/dvbs2_enc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bch/CMakeFiles/dvbs2_bch.dir/DependInfo.cmake"
+  "/root/repo/build/src/code/CMakeFiles/dvbs2_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/dvbs2_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dvbs2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_quant[1]_include.cmake")
+include("/root/repo/build/tests/test_code[1]_include.cmake")
+include("/root/repo/build/tests/test_enc[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_bch[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_arch_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_arch_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_girth[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_core_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_profile_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_verilog[1]_include.cmake")
+include("/root/repo/build/tests/test_constellation[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_threshold[1]_include.cmake")
