@@ -2,10 +2,12 @@
 #pragma once
 
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
 #include "code/params.hpp"
+#include "comm/ber.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -30,5 +32,41 @@ inline code::CodeRate parse_rate(const std::string& s) {
         if (code::to_string(r) == s) return r;
     throw std::runtime_error("unknown rate " + s);
 }
+
+/// Aggregates the Monte-Carlo engine's per-point final progress events
+/// (install `hook()` as SimConfig::progress) and prints one frames/sec +
+/// worker-utilization summary line for the whole bench run.
+class SimMeter {
+public:
+    comm::ProgressFn hook() {
+        return [this](const comm::SimProgress& p) {
+            if (!p.finished) return;
+            std::lock_guard<std::mutex> lock(mu_);
+            ++points_;
+            frames_ += p.frames;
+            wall_s_ += p.elapsed_s;
+            busy_thread_s_ += p.worker_utilization * p.elapsed_s * p.threads;
+            threads_ = p.threads;
+        };
+    }
+
+    void print(std::ostream& os) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (wall_s_ <= 0.0 || points_ == 0) return;
+        os << "[sim] " << frames_ << " frames over " << points_ << " points in "
+           << util::TextTable::num(wall_s_, 2) << " s = "
+           << util::TextTable::num(static_cast<double>(frames_) / wall_s_, 1) << " frames/s at "
+           << threads_ << " thread(s), worker utilization "
+           << util::TextTable::num(100.0 * busy_thread_s_ / (wall_s_ * threads_), 0) << "%\n";
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::uint64_t points_ = 0;
+    std::uint64_t frames_ = 0;
+    double wall_s_ = 0.0;
+    double busy_thread_s_ = 0.0;
+    unsigned threads_ = 1;
+};
 
 }  // namespace dvbs2::bench

@@ -10,23 +10,30 @@
 // decoders on the same code/schedule, and reports the losses.
 //
 //   ./bench_quantization [--rate=1/2] [--target=1e-4] [--frames=16]
-//                        [--step=0.1] [--start=0.8]
+//                        [--step=0.1] [--start=0.8] [--threads=N]
+//
+// Runs on the frame-parallel Monte-Carlo engine (comm/parallel.hpp):
+// --threads (default: DVBS2_THREADS env or hardware_concurrency) scales
+// frames/sec while leaving every measured number bit-identical.
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "code/tanner.hpp"
-#include "comm/ber.hpp"
+#include "comm/parallel.hpp"
 #include "core/decoder.hpp"
 
 using namespace dvbs2;
 
 int main(int argc, char** argv) {
-    const util::CliArgs args(argc, argv, {"rate", "target", "frames", "step", "start"});
+    const util::CliArgs args(argc, argv, {"rate", "target", "frames", "step", "start", "threads"});
     const auto rate = bench::parse_rate(args.get("rate", "1/2"));
     const double target = args.get_double("target", 1e-4);
     const double step = args.get_double("step", 0.05);
     const double start = args.get_double("start", 0.8);
     const auto frames = static_cast<std::uint64_t>(args.get_int("frames", 24));
+    const auto threads =
+        util::resolve_thread_count(static_cast<unsigned>(args.get_int("threads", 0)));
     bench::banner("E7", "message-quantization loss (float vs 6-bit vs 5-bit)");
 
     const code::Dvbs2Code c(code::standard_params(rate));
@@ -39,27 +46,34 @@ int main(int argc, char** argv) {
     sim.limits.min_frames = frames / 2;
     sim.limits.target_bit_errors = 60;
     sim.limits.target_frame_errors = 8;
+    sim.threads = threads;
+    bench::SimMeter meter;
+    sim.progress = meter.hook();
 
-    core::Decoder float_dec(c, cfg);
-    core::FixedDecoder q6(c, cfg, quant::kQuant6);
-    core::FixedDecoder q5(c, cfg, quant::kQuant5);
+    // One independent decoder per worker (decoders own message memories).
+    comm::DecodeFactory float_factory = [&](unsigned) {
+        auto dec = std::make_shared<core::Decoder>(c, cfg);
+        return [dec](const std::vector<double>& llr) {
+            const auto r = dec->decode(llr);
+            return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
+        };
+    };
+    auto fixed_factory = [&](const quant::QuantSpec& spec) {
+        return comm::DecodeFactory([&c, &cfg, spec](unsigned) {
+            auto dec = std::make_shared<core::FixedDecoder>(c, cfg, spec);
+            return [dec](const std::vector<double>& llr) {
+                const auto r = dec->decode(llr);
+                return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
+            };
+        });
+    };
 
-    auto wrap_float = [&](const std::vector<double>& llr) {
-        const auto r = float_dec.decode(llr);
-        return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
-    };
-    auto wrap6 = [&](const std::vector<double>& llr) {
-        const auto r = q6.decode(llr);
-        return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
-    };
-    auto wrap5 = [&](const std::vector<double>& llr) {
-        const auto r = q5.decode(llr);
-        return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
-    };
-
-    const double th_f = comm::find_threshold_db(c, wrap_float, target, start, step, sim, 4.0);
-    const double th_6 = comm::find_threshold_db(c, wrap6, target, th_f - step, step, sim, 4.0);
-    const double th_5 = comm::find_threshold_db(c, wrap5, target, th_f - step, step, sim, 4.0);
+    const double th_f =
+        comm::find_threshold_db_parallel(c, float_factory, target, start, step, sim, 4.0);
+    const double th_6 = comm::find_threshold_db_parallel(c, fixed_factory(quant::kQuant6), target,
+                                                         th_f - step, step, sim, 4.0);
+    const double th_5 = comm::find_threshold_db_parallel(c, fixed_factory(quant::kQuant5), target,
+                                                         th_f - step, step, sim, 4.0);
 
     util::TextTable t;
     t.set_header({"decoder", "threshold @BER<" + bench::sci(target, 0) + " [dB]", "loss [dB]",
@@ -70,6 +84,7 @@ int main(int argc, char** argv) {
     t.add_row({"fixed 5-bit", util::TextTable::num(th_5, 2), util::TextTable::num(th_5 - th_f, 2),
                "~0.15-0.2"});
     t.print(std::cout);
+    meter.print(std::cout);
     std::cout << "(threshold resolution " << step << " dB, " << frames
               << " frames/point, 30 iterations, " << c.params().name << ")\n";
 

@@ -5,6 +5,10 @@
 //   ./ber_sweep [--rate=1/2] [--from=0.6] [--to=1.6] [--step=0.2]
 //               [--frames=50] [--iters=30] [--fixed] [--bits=6]
 //               [--schedule=zigzag|twophase|map] [--csv=out.csv]
+//               [--threads=N] [--progress]
+//
+// Runs on the frame-parallel Monte-Carlo engine: results are bit-identical
+// for every --threads value (see comm/parallel.hpp).
 #include <iostream>
 #include <memory>
 
@@ -12,8 +16,8 @@
 
 #include "code/params.hpp"
 #include "code/tanner.hpp"
-#include "comm/ber.hpp"
 #include "comm/capacity.hpp"
+#include "comm/parallel.hpp"
 #include "core/decoder.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -38,9 +42,9 @@ core::Schedule parse_schedule(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) try {
-    const util::CliArgs args(
-        argc, argv,
-        {"rate", "from", "to", "step", "frames", "iters", "fixed", "bits", "schedule", "csv"});
+    const util::CliArgs args(argc, argv,
+                             {"rate", "from", "to", "step", "frames", "iters", "fixed", "bits",
+                              "schedule", "csv", "threads", "progress"});
     const auto rate = parse_rate(args.get("rate", "1/2"));
     const code::Dvbs2Code ldpc(code::standard_params(rate));
 
@@ -52,17 +56,36 @@ int main(int argc, char** argv) try {
     const int bits = static_cast<int>(args.get_int("bits", 6));
     const quant::QuantSpec spec = bits == 5 ? quant::kQuant5 : quant::kQuant6;
 
-    core::Decoder float_dec(ldpc, cfg);
-    core::FixedDecoder fixed_dec(ldpc, cfg, spec);
-    comm::DecodeFn decode = [&](const std::vector<double>& llr) {
-        const auto r = fixed ? fixed_dec.decode(llr) : float_dec.decode(llr);
-        return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
+    // One decoder per worker — decoders own message memories and the
+    // parallel engine never shares them across threads.
+    comm::DecodeFactory factory = [&](unsigned) -> comm::DecodeFn {
+        if (fixed) {
+            auto dec = std::make_shared<core::FixedDecoder>(ldpc, cfg, spec);
+            return [dec](const std::vector<double>& llr) {
+                const auto r = dec->decode(llr);
+                return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
+            };
+        }
+        auto dec = std::make_shared<core::Decoder>(ldpc, cfg);
+        return [dec](const std::vector<double>& llr) {
+            const auto r = dec->decode(llr);
+            return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
+        };
     };
 
     comm::SimConfig sim;
     sim.limits.max_frames = static_cast<std::uint64_t>(args.get_int("frames", 50));
     sim.limits.target_frame_errors = 15;
     sim.limits.target_bit_errors = 500;
+    sim.threads = util::resolve_thread_count(static_cast<unsigned>(args.get_int("threads", 0)));
+    if (args.has("progress")) {
+        sim.progress = [](const comm::SimProgress& p) {
+            if (!p.finished) return;
+            std::cerr << "[" << p.ebn0_db << " dB] " << p.frames << " frames in "
+                      << p.elapsed_s << " s (" << p.frames_per_s << " frames/s, "
+                      << p.threads << " threads)\n";
+        };
+    }
 
     std::vector<double> snrs;
     const double from = args.get_double("from", 0.6), to = args.get_double("to", 1.6),
@@ -85,8 +108,9 @@ int main(int argc, char** argv) try {
 
     util::TextTable table;
     table.set_header({"Eb/N0 [dB]", "frames", "BER", "FER", "avg iters"});
+    util::ThreadPool pool(sim.threads);
     for (double snr : snrs) {
-        const auto pt = comm::simulate_point(ldpc, decode, snr, sim);
+        const auto pt = comm::simulate_point_parallel(ldpc, factory, snr, sim, &pool);
         std::ostringstream ber;
         ber.precision(3);
         ber << std::scientific << pt.ber(static_cast<std::uint64_t>(ldpc.k()));

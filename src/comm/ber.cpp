@@ -1,51 +1,48 @@
 #include "comm/ber.hpp"
 
+#include <bit>
+
+#include "comm/parallel.hpp"
 #include "util/error.hpp"
 #include "util/prng.hpp"
 
 namespace dvbs2::comm {
 
+namespace {
+
+// Role lanes of the counter-based stream scheme (see util::derive_stream).
+// The values are arbitrary but frozen: they are part of the reproducibility
+// contract pinned by the golden BER tests.
+constexpr std::uint64_t kLanePoint = 0;
+constexpr std::uint64_t kLaneData = 1;
+constexpr std::uint64_t kLaneNoise = 2;
+
+}  // namespace
+
+std::uint64_t point_stream_seed(std::uint64_t seed, double ebn0_db) {
+    // Collapse -0.0 onto +0.0 so equal Eb/N0 values share a stream.
+    const double norm = ebn0_db == 0.0 ? 0.0 : ebn0_db;
+    return util::derive_stream(seed, std::bit_cast<std::uint64_t>(norm), kLanePoint);
+}
+
+std::uint64_t frame_data_seed(std::uint64_t point_seed, std::uint64_t frame) {
+    return util::derive_stream(point_seed, frame, kLaneData);
+}
+
+std::uint64_t frame_noise_seed(std::uint64_t point_seed, std::uint64_t frame) {
+    return util::derive_stream(point_seed, frame, kLaneNoise);
+}
+
 BerPoint simulate_point(const code::Dvbs2Code& code, const DecodeFn& decode, double ebn0_db,
                         const SimConfig& cfg) {
-    const auto& cp = code.params();
-    const double sigma = noise_sigma(ebn0_db, cp.rate(), cfg.modulation);
-    // Decorrelate the point's streams from the sweep position and seed.
-    const std::uint64_t point_seed =
-        util::mix64(cfg.seed ^ util::mix64(static_cast<std::uint64_t>(ebn0_db * 4096.0) + 7));
-    AwgnModem modem(cfg.modulation, point_seed);
-    util::Xoshiro256pp data_rng(util::mix64(point_seed + 1));
-    const enc::Encoder encoder(code);
-
-    BerPoint pt;
-    pt.ebn0_db = ebn0_db;
-    double iter_sum = 0.0;
-    for (std::uint64_t f = 0; f < cfg.limits.max_frames; ++f) {
-        util::BitVec info(static_cast<std::size_t>(cp.k));
-        if (cfg.random_data) {
-            for (int v = 0; v < cp.k; ++v)
-                if (data_rng() & 1u) info.set(static_cast<std::size_t>(v), true);
-        }
-        const util::BitVec cw = encoder.encode(info);
-        const std::vector<double> llr = modem.transmit(cw, sigma);
-        const DecodeOutcome out = decode(llr);
-        DVBS2_REQUIRE(out.info_bits.size() == static_cast<std::size_t>(cp.k),
-                      "decoder returned wrong info length");
-
-        const std::size_t errs = util::BitVec::hamming_distance(out.info_bits, info);
-        pt.bit_errors += errs;
-        if (errs != 0) {
-            ++pt.frame_errors;
-            if (out.converged) ++pt.undetected_frame_errors;
-        }
-        iter_sum += out.iterations;
-        ++pt.frames;
-
-        const bool enough_errors = pt.bit_errors >= cfg.limits.target_bit_errors &&
-                                   pt.frame_errors >= cfg.limits.target_frame_errors;
-        if (pt.frames >= cfg.limits.min_frames && enough_errors) break;
-    }
-    pt.avg_iterations = pt.frames ? iter_sum / static_cast<double>(pt.frames) : 0.0;
-    return pt;
+    // A single DecodeFn may own mutable decoder state, so it must never be
+    // called concurrently: force one worker. The tallies still match the
+    // parallel engine at any thread count (per-frame streams + batch-wise
+    // early stop are scheduling-independent).
+    SimConfig serial = cfg;
+    serial.threads = 1;
+    return simulate_point_parallel(
+        code, [&decode](unsigned) { return decode; }, ebn0_db, serial, nullptr);
 }
 
 std::vector<BerPoint> simulate_sweep(const code::Dvbs2Code& code, const DecodeFn& decode,

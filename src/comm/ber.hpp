@@ -5,6 +5,19 @@
 // The decoder is injected as a callback so the harness works with the
 // floating-point decoder, the fixed-point decoder and the cycle-driven
 // architecture model alike (and stays free of a dependency on core/arch).
+//
+// Determinism contract (also the parallel engine's, see comm/parallel.hpp):
+// every random quantity is a pure function of logical coordinates, never of
+// evaluation order. Point p of a sweep draws from streams seeded by
+// point_stream_seed(cfg.seed, ebn0_db) — a function of the Eb/N0 *value*,
+// so permuting the sweep vector permutes the results. Frame f of a point
+// draws its data bits and its noise from two streams seeded by
+// frame_data_seed / frame_noise_seed(point_seed, f). Early stopping is
+// batch-wise: frames are grouped into batches of cfg.batch_frames
+// consecutive frame indices, and the result is the tally over the shortest
+// batch prefix whose cumulative counts satisfy SimLimits (or all frames up
+// to max_frames). Both rules are scheduling-independent, which is what
+// makes the counts identical for any thread count, including 1.
 #pragma once
 
 #include <cstdint>
@@ -60,15 +73,59 @@ struct BerPoint {
     }
 };
 
+/// Progress snapshot of one Eb/N0 point, emitted at batch-merge boundaries
+/// and once more (with `finished = true`) after the point completes. The
+/// callback runs under the engine's reduction lock: keep it cheap and do
+/// not re-enter the engine from it.
+struct SimProgress {
+    double ebn0_db = 0.0;
+    std::uint64_t frames = 0;      ///< frames merged into the result so far
+    std::uint64_t frames_cap = 0;  ///< cfg.limits.max_frames
+    std::uint64_t bit_errors = 0;
+    std::uint64_t frame_errors = 0;
+    double elapsed_s = 0.0;
+    double frames_per_s = 0.0;
+    unsigned threads = 1;
+    /// Σ worker busy time / (threads · wall time); only meaningful on the
+    /// final (finished) event. 1.0 = every worker was busy the whole run.
+    double worker_utilization = 0.0;
+    bool finished = false;
+};
+using ProgressFn = std::function<void(const SimProgress&)>;
+
 /// Simulation configuration shared by all points of a sweep.
 struct SimConfig {
     Modulation modulation = Modulation::Bpsk;
     std::uint64_t seed = 1;
     bool random_data = true;  ///< false → all-zero codeword (decoder-symmetric)
     SimLimits limits;
+    /// Worker threads for the parallel engine (comm/parallel.hpp):
+    /// 0 = auto (DVBS2_THREADS env var, else hardware_concurrency). The
+    /// DecodeFn entry points below always run serially — a single decoder
+    /// callback may own mutable state and must not be called concurrently —
+    /// but produce tallies identical to the parallel engine at any thread
+    /// count, because frame streams and early stopping depend only on frame
+    /// indices (see header comment).
+    unsigned threads = 0;
+    /// Frames per scheduling batch; early stopping is decided on batch
+    /// prefixes, so this is part of the deterministic result, not a tuning
+    /// knob to change freely once results are pinned.
+    std::uint64_t batch_frames = 8;
+    ProgressFn progress;  ///< optional observability hook (may be empty)
 };
 
-/// Simulates one Eb/N0 point.
+/// Seed of the independent RNG stream of one (sweep-seed, Eb/N0) point.
+/// Hashes the IEEE-754 bit pattern of `ebn0_db` (with −0.0 normalized to
+/// +0.0), so any two distinct Eb/N0 values get distinct streams — no
+/// quantization collisions — and the stream does not depend on the point's
+/// position in the sweep vector.
+std::uint64_t point_stream_seed(std::uint64_t seed, double ebn0_db);
+
+/// Per-frame stream seeds (counter-based: pure functions of their inputs).
+std::uint64_t frame_data_seed(std::uint64_t point_seed, std::uint64_t frame);
+std::uint64_t frame_noise_seed(std::uint64_t point_seed, std::uint64_t frame);
+
+/// Simulates one Eb/N0 point (serial; see SimConfig::threads).
 BerPoint simulate_point(const code::Dvbs2Code& code, const DecodeFn& decode, double ebn0_db,
                         const SimConfig& cfg);
 

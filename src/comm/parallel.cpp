@@ -1,0 +1,229 @@
+#include "comm/parallel.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace dvbs2::comm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Exact per-batch counts; merged in batch-index order by the frontier.
+struct Tally {
+    std::uint64_t frames = 0;
+    std::uint64_t bit_errors = 0;
+    std::uint64_t frame_errors = 0;
+    std::uint64_t undetected = 0;
+    std::uint64_t iter_sum = 0;
+
+    void merge(const Tally& o) {
+        frames += o.frames;
+        bit_errors += o.bit_errors;
+        frame_errors += o.frame_errors;
+        undetected += o.undetected;
+        iter_sum += o.iter_sum;
+    }
+};
+
+bool stop_satisfied(const Tally& t, const SimLimits& lim) {
+    return t.frames >= lim.min_frames && t.bit_errors >= lim.target_bit_errors &&
+           t.frame_errors >= lim.target_frame_errors;
+}
+
+/// Simulates frames [lo, hi) of one point. Every frame owns its RNG streams,
+/// so this is a pure function of (point_seed, frame index) — the core of the
+/// thread-count-invariance guarantee.
+Tally run_batch(const code::Dvbs2Code& code, const enc::Encoder& encoder, const DecodeFn& decode,
+                const SimConfig& cfg, double sigma, std::uint64_t point_seed, std::uint64_t lo,
+                std::uint64_t hi) {
+    const auto& cp = code.params();
+    Tally t;
+    for (std::uint64_t f = lo; f < hi; ++f) {
+        util::Xoshiro256pp data_rng(frame_data_seed(point_seed, f));
+        AwgnModem modem(cfg.modulation, frame_noise_seed(point_seed, f));
+
+        util::BitVec info(static_cast<std::size_t>(cp.k));
+        if (cfg.random_data) {
+            for (int v = 0; v < cp.k; ++v)
+                if (data_rng() & 1u) info.set(static_cast<std::size_t>(v), true);
+        }
+        const util::BitVec cw = encoder.encode(info);
+        const std::vector<double> llr = modem.transmit(cw, sigma);
+        const DecodeOutcome out = decode(llr);
+        DVBS2_REQUIRE(out.info_bits.size() == static_cast<std::size_t>(cp.k),
+                      "decoder returned wrong info length");
+
+        const std::size_t errs = util::BitVec::hamming_distance(out.info_bits, info);
+        t.bit_errors += errs;
+        if (errs != 0) {
+            ++t.frame_errors;
+            if (out.converged) ++t.undetected;
+        }
+        t.iter_sum += static_cast<std::uint64_t>(out.iterations > 0 ? out.iterations : 0);
+        ++t.frames;
+    }
+    return t;
+}
+
+/// Reduction state shared by the workers of one point; all fields are
+/// guarded by `mu` except the two atomics.
+struct Reduction {
+    explicit Reduction(std::uint64_t num_batches)
+        : tallies(num_batches), done(num_batches, 0), stop_at(num_batches) {}
+
+    std::vector<Tally> tallies;
+    std::vector<char> done;
+    std::atomic<std::uint64_t> next_batch{0};
+    std::atomic<std::uint64_t> stop_at;  ///< first batch index NOT in the result
+    std::mutex mu;
+    std::uint64_t frontier = 0;  ///< next batch index to merge into `prefix`
+    Tally prefix;
+    bool stopped = false;
+};
+
+}  // namespace
+
+BerPoint simulate_point_parallel(const code::Dvbs2Code& code, const DecodeFactory& factory,
+                                 double ebn0_db, const SimConfig& cfg, util::ThreadPool* pool) {
+    const double sigma = noise_sigma(ebn0_db, code.params().rate(), cfg.modulation);
+    const std::uint64_t point_seed = point_stream_seed(cfg.seed, ebn0_db);
+    const unsigned threads = util::resolve_thread_count(cfg.threads);
+    const std::uint64_t batch = cfg.batch_frames > 0 ? cfg.batch_frames : 1;
+    const std::uint64_t max_frames = cfg.limits.max_frames;
+    const std::uint64_t num_batches = (max_frames + batch - 1) / batch;
+
+    Reduction red(num_batches);
+    std::vector<double> busy_s(threads, 0.0);
+    const Clock::time_point start = Clock::now();
+
+    auto worker = [&](unsigned w) {
+        const DecodeFn decode = factory(w);
+        const enc::Encoder encoder(code);
+        for (;;) {
+            const std::uint64_t b = red.next_batch.fetch_add(1, std::memory_order_relaxed);
+            if (b >= num_batches || b >= red.stop_at.load(std::memory_order_acquire)) break;
+            const std::uint64_t lo = b * batch;
+            const std::uint64_t hi = std::min(lo + batch, max_frames);
+
+            const Clock::time_point t0 = Clock::now();
+            const Tally t = run_batch(code, encoder, decode, cfg, sigma, point_seed, lo, hi);
+            busy_s[w] += seconds_since(t0);
+
+            bool stop_now;
+            {
+                std::lock_guard<std::mutex> lock(red.mu);
+                red.tallies[b] = t;
+                red.done[b] = 1;
+                // Advance the frontier over the contiguous done prefix; the
+                // stop decision only ever looks at batch prefixes, so it is
+                // the same for every scheduling of batches onto workers.
+                while (!red.stopped && red.frontier < num_batches && red.done[red.frontier]) {
+                    red.prefix.merge(red.tallies[red.frontier]);
+                    ++red.frontier;
+                    if (stop_satisfied(red.prefix, cfg.limits)) {
+                        red.stopped = true;
+                        red.stop_at.store(red.frontier, std::memory_order_release);
+                    }
+                }
+                if (cfg.progress) {
+                    SimProgress p;
+                    p.ebn0_db = ebn0_db;
+                    p.frames = red.prefix.frames;
+                    p.frames_cap = max_frames;
+                    p.bit_errors = red.prefix.bit_errors;
+                    p.frame_errors = red.prefix.frame_errors;
+                    p.elapsed_s = seconds_since(start);
+                    p.frames_per_s = p.elapsed_s > 0.0 ? static_cast<double>(p.frames) / p.elapsed_s
+                                                       : 0.0;
+                    p.threads = threads;
+                    cfg.progress(p);
+                }
+                stop_now = red.stopped;
+            }
+            if (stop_now) break;
+        }
+    };
+
+    if (threads == 1) {
+        worker(0);
+    } else if (pool != nullptr) {
+        pool->run_workers(threads, worker);
+    } else {
+        util::ThreadPool local(threads);
+        local.run_workers(threads, worker);
+    }
+
+    BerPoint pt;
+    pt.ebn0_db = ebn0_db;
+    pt.frames = red.prefix.frames;
+    pt.bit_errors = red.prefix.bit_errors;
+    pt.frame_errors = red.prefix.frame_errors;
+    pt.undetected_frame_errors = red.prefix.undetected;
+    pt.avg_iterations = pt.frames ? static_cast<double>(red.prefix.iter_sum) /
+                                        static_cast<double>(pt.frames)
+                                  : 0.0;
+
+    if (cfg.progress) {
+        SimProgress p;
+        p.ebn0_db = ebn0_db;
+        p.frames = pt.frames;
+        p.frames_cap = max_frames;
+        p.bit_errors = pt.bit_errors;
+        p.frame_errors = pt.frame_errors;
+        p.elapsed_s = seconds_since(start);
+        p.frames_per_s = p.elapsed_s > 0.0 ? static_cast<double>(pt.frames) / p.elapsed_s : 0.0;
+        p.threads = threads;
+        double busy = 0.0;
+        for (double b : busy_s) busy += b;
+        p.worker_utilization =
+            p.elapsed_s > 0.0 ? busy / (static_cast<double>(threads) * p.elapsed_s) : 0.0;
+        p.finished = true;
+        cfg.progress(p);
+    }
+    return pt;
+}
+
+std::vector<BerPoint> simulate_sweep_parallel(const code::Dvbs2Code& code,
+                                              const DecodeFactory& factory,
+                                              const std::vector<double>& ebn0_db,
+                                              const SimConfig& cfg) {
+    const unsigned threads = util::resolve_thread_count(cfg.threads);
+    std::vector<BerPoint> points;
+    points.reserve(ebn0_db.size());
+    if (threads == 1) {
+        for (double snr : ebn0_db)
+            points.push_back(simulate_point_parallel(code, factory, snr, cfg, nullptr));
+        return points;
+    }
+    util::ThreadPool pool(threads);
+    for (double snr : ebn0_db)
+        points.push_back(simulate_point_parallel(code, factory, snr, cfg, &pool));
+    return points;
+}
+
+double find_threshold_db_parallel(const code::Dvbs2Code& code, const DecodeFactory& factory,
+                                  double target_ber, double start_db, double step_db,
+                                  const SimConfig& cfg, double max_db) {
+    DVBS2_REQUIRE(step_db > 0.0, "step must be positive");
+    const auto k_bits = static_cast<std::uint64_t>(code.params().k);
+    const unsigned threads = util::resolve_thread_count(cfg.threads);
+    util::ThreadPool pool(threads > 1 ? threads : 1);
+    util::ThreadPool* shared = threads > 1 ? &pool : nullptr;
+    for (double snr = start_db; snr <= max_db + 1e-9; snr += step_db) {
+        const BerPoint pt = simulate_point_parallel(code, factory, snr, cfg, shared);
+        if (pt.ber(k_bits) < target_ber) return snr;
+    }
+    return max_db;  // not reached within the scan range
+}
+
+}  // namespace dvbs2::comm

@@ -1,0 +1,56 @@
+// Frame-parallel Monte-Carlo BER engine.
+//
+// Decodes the frames of one Eb/N0 point on a worker pool while producing
+// *bit-identical tallies for every thread count*, including the serial
+// entry points in comm/ber.hpp. Three mechanisms make that hold:
+//
+//   1. Counter-based RNG streams. Frame f of a point draws its data bits
+//      and its AWGN noise from streams seeded by (point_seed, f) via
+//      util::derive_stream — a pure function of indices, so the sampled
+//      noise is independent of which worker simulates the frame and when.
+//   2. Batch-claimed scheduling. Workers claim fixed-size batches of
+//      consecutive frame indices from an atomic cursor; which worker gets
+//      which batch varies run to run, but the *content* of a batch does not.
+//   3. Deterministic reduction. A single frontier merges per-batch tallies
+//      in batch-index order and evaluates the early-stop predicate on batch
+//      prefixes only. The result is the tally over the shortest stopping
+//      prefix; batches a worker had already started beyond it are discarded.
+//
+// Decoders are stateful (they own message memories), so the parallel entry
+// points take a factory that builds one independent decoder per worker
+// instead of a shared DecodeFn.
+#pragma once
+
+#include "comm/ber.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dvbs2::comm {
+
+/// Builds the decoder callback used by one worker. Called once per worker
+/// (index in [0, threads)) before any frame is simulated; each returned
+/// DecodeFn is only ever invoked from its own worker, so it may own mutable
+/// decoder state. The decode must be a deterministic function of the LLRs.
+using DecodeFactory = std::function<DecodeFn(unsigned worker)>;
+
+/// Simulates one Eb/N0 point on `cfg.threads` workers (0 = auto). Tallies
+/// are identical to simulate_point for every thread count. If `pool` is
+/// non-null it is reused (spawn threads once per sweep, not per point);
+/// otherwise a pool is created when more than one worker is requested.
+BerPoint simulate_point_parallel(const code::Dvbs2Code& code, const DecodeFactory& factory,
+                                 double ebn0_db, const SimConfig& cfg,
+                                 util::ThreadPool* pool = nullptr);
+
+/// Sweep over `ebn0_db` with one shared worker pool. Points run one after
+/// another with all workers on the current point, so results match
+/// point-by-point calls exactly (streams are per-point, see ber.hpp).
+std::vector<BerPoint> simulate_sweep_parallel(const code::Dvbs2Code& code,
+                                              const DecodeFactory& factory,
+                                              const std::vector<double>& ebn0_db,
+                                              const SimConfig& cfg);
+
+/// Parallel counterpart of find_threshold_db (same scan semantics).
+double find_threshold_db_parallel(const code::Dvbs2Code& code, const DecodeFactory& factory,
+                                  double target_ber, double start_db, double step_db,
+                                  const SimConfig& cfg, double max_db = 12.0);
+
+}  // namespace dvbs2::comm

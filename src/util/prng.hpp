@@ -37,6 +37,23 @@ constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
     return z ^ (z >> 31);
 }
 
+/// Derives a decorrelated child seed from a parent seed and up to three
+/// 64-bit lane indices. This is the library's canonical counter-based stream
+/// scheme: every consumer of randomness owns a coordinate tuple (e.g. the
+/// Monte-Carlo engine uses (point, frame, role)) and the sampled values are
+/// a pure function of (seed, coordinates), independent of evaluation order
+/// or thread scheduling. Each lane is offset by a distinct odd constant
+/// before the SplitMix64 finalizer so that swapping values between lanes, or
+/// truncating trailing zero lanes, changes the result.
+constexpr std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0,
+                                      std::uint64_t c = 0) noexcept {
+    std::uint64_t h = mix64(seed + 0x9e3779b97f4a7c15ULL);
+    h = mix64(h ^ (a + 0xbf58476d1ce4e5b9ULL));
+    h = mix64(h ^ (b + 0x94d049bb133111ebULL));
+    h = mix64(h ^ (c + 0x2545f4914f6cdd1dULL));
+    return h;
+}
+
 /// xoshiro256++ by Blackman & Vigna — the library's workhorse engine.
 /// Satisfies the essentials of UniformRandomBitGenerator.
 class Xoshiro256pp {

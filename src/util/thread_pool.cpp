@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace dvbs2::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> job) {
+    std::packaged_task<void()> task(std::move(job));
+    std::future<void> fut = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void ThreadPool::run_workers(unsigned n, const std::function<void(unsigned)>& job) {
+    std::vector<std::future<void>> futs;
+    futs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) futs.push_back(submit([&job, i] { job(i); }));
+    // Wait for everything before rethrowing so no instance outlives the call.
+    std::exception_ptr first;
+    for (auto& f : futs) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first) first = std::current_exception();
+        }
+    }
+    if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            // Drain the queue even when stopping: jobs accepted before the
+            // destructor ran are completed, not abandoned.
+            if (queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // exceptions are captured by the packaged_task
+    }
+}
+
+unsigned resolve_thread_count(unsigned requested) noexcept {
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("DVBS2_THREADS")) {
+        char* end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0 && v <= 4096) return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+}  // namespace dvbs2::util

@@ -6,10 +6,14 @@
 // EXPERIMENTS.md.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 
 #include "code/params.hpp"
 #include "code/tables.hpp"
+#include "code/tanner.hpp"
+#include "comm/ber.hpp"
+#include "core/decoder.hpp"
 
 namespace dc = dvbs2::code;
 
@@ -60,5 +64,59 @@ TEST(Golden, AllStandardLongFrameTablesArePinned) {
     for (const auto& pin : pins) {
         const auto p = dc::standard_params(pin.rate);
         EXPECT_EQ(fingerprint(dc::generate_tables(p)), pin.fp) << dc::to_string(pin.rate);
+    }
+}
+
+// ---------------------------------------------------------------- BER pins
+//
+// Serial simulate_point counts for a fixed (seed, toy rate, Eb/N0) tuple.
+// These pin the *entire* Monte-Carlo chain — point/frame stream derivation
+// (counter-based, see comm/ber.hpp), data generation, AWGN sampling, the BP
+// decoder and the batch-wise early stop — so any refactor of the RNG scheme
+// or the engine that silently changes deterministic results is caught here,
+// exactly like the table fingerprints above. The thread-count-invariance
+// tests (test_parallel_ber.cpp) extend this guarantee to every thread count.
+TEST(Golden, SerialBerCountsArePinned) {
+    namespace dm = dvbs2::comm;
+    const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    dvbs2::core::DecoderConfig dcfg;
+    dcfg.max_iterations = 20;
+    dvbs2::core::Decoder dec(code, dcfg);
+
+    dm::SimConfig cfg;
+    cfg.seed = 2024;
+    cfg.limits.max_frames = 96;
+    cfg.limits.min_frames = 16;
+    cfg.limits.target_bit_errors = 40;
+    cfg.limits.target_frame_errors = 6;
+
+    struct BerPin {
+        double ebn0_db;
+        std::uint64_t frames, bit_errors, frame_errors, undetected, iter_sum;
+    };
+    const BerPin pins[] = {
+#include "golden_ber_pins.inc"
+    };
+    for (const auto& pin : pins) {
+        const auto pt = dm::simulate_point(
+            code,
+            [&dec](const std::vector<double>& llr) {
+                const auto r = dec.decode(llr);
+                return dm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
+            },
+            pin.ebn0_db, cfg);
+        const auto iter_sum =
+            static_cast<std::uint64_t>(std::llround(pt.avg_iterations * pt.frames));
+        EXPECT_EQ(pt.frames, pin.frames) << pin.ebn0_db << " dB";
+        EXPECT_EQ(pt.bit_errors, pin.bit_errors) << pin.ebn0_db << " dB";
+        EXPECT_EQ(pt.frame_errors, pin.frame_errors) << pin.ebn0_db << " dB";
+        EXPECT_EQ(pt.undetected_frame_errors, pin.undetected) << pin.ebn0_db << " dB";
+        EXPECT_EQ(iter_sum, pin.iter_sum) << pin.ebn0_db << " dB";
+        if (HasFailure()) {
+            // Paste-ready line for golden_ber_pins.inc after an intended change.
+            ADD_FAILURE() << "actual pin: {" << pin.ebn0_db << ", " << pt.frames << "u, "
+                          << pt.bit_errors << "u, " << pt.frame_errors << "u, "
+                          << pt.undetected_frame_errors << "u, " << iter_sum << "u},";
+        }
     }
 }
