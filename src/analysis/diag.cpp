@@ -1,0 +1,112 @@
+#include "analysis/diag.hpp"
+
+#include <ostream>
+
+namespace dvbs2::analysis {
+
+const char* to_string(Severity s) {
+    switch (s) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+void Report::add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void Report::add(std::string rule, Severity severity, std::string location, std::string message,
+                 std::string fix_hint) {
+    diags_.push_back({std::move(rule), severity, std::move(location), std::move(message),
+                      std::move(fix_hint)});
+}
+
+void Report::merge(const Report& other) {
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::size_t Report::error_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& d : diags_)
+        if (d.severity == Severity::Error) ++n;
+    return n;
+}
+
+std::size_t Report::warning_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& d : diags_)
+        if (d.severity == Severity::Warning) ++n;
+    return n;
+}
+
+std::vector<Diagnostic> Report::by_rule(const std::string& rule) const {
+    std::vector<Diagnostic> out;
+    for (const auto& d : diags_)
+        if (d.rule == rule) out.push_back(d);
+    return out;
+}
+
+bool Report::has(const std::string& rule) const {
+    for (const auto& d : diags_)
+        if (d.rule == rule) return true;
+    return false;
+}
+
+void render_text(std::ostream& os, const Report& report) {
+    for (const auto& d : report.diagnostics()) {
+        os << to_string(d.severity) << ' ' << d.rule;
+        if (!d.location.empty()) os << " [" << d.location << ']';
+        os << ": " << d.message;
+        if (!d.fix_hint.empty()) os << " (fix: " << d.fix_hint << ')';
+        os << '\n';
+    }
+    os << report.error_count() << " error(s), " << report.warning_count() << " warning(s)\n";
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* hex = "0123456789abcdef";
+                    os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+void render_json(std::ostream& os, const Report& report) {
+    os << "{\n  \"diagnostics\": [";
+    bool first = true;
+    for (const auto& d : report.diagnostics()) {
+        os << (first ? "\n" : ",\n") << "    {\"rule\": ";
+        json_escape(os, d.rule);
+        os << ", \"severity\": ";
+        json_escape(os, to_string(d.severity));
+        os << ", \"location\": ";
+        json_escape(os, d.location);
+        os << ", \"message\": ";
+        json_escape(os, d.message);
+        os << ", \"fix_hint\": ";
+        json_escape(os, d.fix_hint);
+        os << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n";
+    os << "  \"errors\": " << report.error_count() << ",\n";
+    os << "  \"warnings\": " << report.warning_count() << "\n}\n";
+}
+
+}  // namespace dvbs2::analysis

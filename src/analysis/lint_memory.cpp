@@ -1,0 +1,131 @@
+#include "analysis/lint_memory.hpp"
+
+#include <deque>
+#include <string>
+
+namespace dvbs2::analysis {
+
+AccessPlan enumerate_check_phase(const ScheduleModel& model, const arch::MemoryConfig& cfg) {
+    AccessPlan plan;
+    plan.read_addr.reserve(model.slots.size());
+    for (const auto& s : model.slots) plan.read_addr.push_back(s.addr);
+
+    const int kc = model.slots_per_cn;
+    const std::size_t horizon =
+        model.slots.size() + static_cast<std::size_t>(cfg.pipeline_latency + kc) + 1;
+    plan.ready_writes.assign(horizon, {});
+    for (int r = 0; r < model.q; ++r) {
+        // The serial FU emits one updated message per cycle; the first one
+        // appears pipeline_latency cycles after the run's last read.
+        const std::size_t first =
+            static_cast<std::size_t>((r + 1) * kc - 1 + cfg.pipeline_latency);
+        for (int t = 0; t < kc; ++t) {
+            const std::size_t slot = static_cast<std::size_t>(r) * static_cast<std::size_t>(kc) +
+                                     static_cast<std::size_t>(t);
+            if (slot >= model.slots.size()) break;
+            plan.ready_writes[first + static_cast<std::size_t>(t)].push_back(
+                model.slots[slot].addr);
+        }
+    }
+    return plan;
+}
+
+AccessPlan enumerate_variable_phase(const ScheduleModel& model, const arch::MemoryConfig& cfg) {
+    AccessPlan plan;
+    plan.read_addr.reserve(static_cast<std::size_t>(model.ram_words));
+    for (int a = 0; a < model.ram_words; ++a) plan.read_addr.push_back(a);
+
+    int max_deg = 0;
+    for (int d : model.row_degree) max_deg = d > max_deg ? d : max_deg;
+    const std::size_t horizon =
+        static_cast<std::size_t>(model.ram_words + cfg.pipeline_latency + max_deg + 1);
+    plan.ready_writes.assign(horizon, {});
+    for (std::size_t g = 0; g < model.row_base.size(); ++g) {
+        const int base = model.row_base[g];
+        const int deg = model.row_degree[g];
+        const std::size_t first = static_cast<std::size_t>(base + deg - 1 + cfg.pipeline_latency);
+        for (int l = 0; l < deg; ++l)
+            plan.ready_writes[first + static_cast<std::size_t>(l)].push_back(base + l);
+    }
+    return plan;
+}
+
+ConflictProof prove_plan(const AccessPlan& plan, const arch::MemoryConfig& cfg) {
+    ConflictProof proof;
+    std::deque<int> pending;
+    std::size_t cycle = 0;
+    const auto bank_of = [&](int addr) { return addr % cfg.num_banks; };
+
+    const auto step = [&](bool has_read, int read_bank) {
+        if (cycle < plan.ready_writes.size())
+            for (int a : plan.ready_writes[cycle]) pending.push_back(a);
+        if (static_cast<int>(pending.size()) > proof.peak_pending)
+            proof.peak_pending = static_cast<int>(pending.size());
+
+        int issued = 0;
+        std::vector<char> busy(static_cast<std::size_t>(cfg.num_banks), 0);
+        if (has_read) busy[static_cast<std::size_t>(read_bank)] = 1;
+        for (auto it = pending.begin();
+             it != pending.end() && issued < cfg.max_writes_per_cycle;) {
+            const int b = bank_of(*it);
+            if (!busy[static_cast<std::size_t>(b)]) {
+                busy[static_cast<std::size_t>(b)] = 1;
+                it = pending.erase(it);
+                ++issued;
+            } else {
+                ++proof.blocked_events;
+                ++it;
+            }
+        }
+        ++cycle;
+    };
+
+    for (int addr : plan.read_addr) step(/*has_read=*/true, bank_of(addr));
+    while (cycle < plan.ready_writes.size() || !pending.empty()) step(/*has_read=*/false, 0);
+    proof.cycles = static_cast<int>(cycle);
+    return proof;
+}
+
+Report lint_memory(const ScheduleModel& model, const arch::MemoryConfig& cfg, int buffer_depth) {
+    Report rep;
+    if (cfg.num_banks < 2 || cfg.max_writes_per_cycle < 1 || cfg.pipeline_latency < 0 ||
+        buffer_depth < 0) {
+        rep.add("mem.config", Severity::Error, "memory config",
+                "need num_banks >= 2, max_writes_per_cycle >= 1, pipeline_latency >= 0, "
+                "buffer_depth >= 0",
+                "the paper's design point is 4 banks, 2 write ports");
+        return rep;
+    }
+    if (model.ram_words <= 0 || model.slots.empty()) {
+        rep.add("mem.config", Severity::Error, "schedule model",
+                "empty schedule — nothing to prove", "build the model from a valid mapping");
+        return rep;
+    }
+
+    const ConflictProof check = prove_plan(enumerate_check_phase(model, cfg), cfg);
+    const ConflictProof variable = prove_plan(enumerate_variable_phase(model, cfg), cfg);
+
+    const auto judge = [&](const char* phase, const ConflictProof& proof) {
+        if (proof.peak_pending > buffer_depth)
+            rep.add("mem.conflict-overflow", Severity::Error, std::string(phase) + " phase",
+                    "static peak conflict count " + std::to_string(proof.peak_pending) +
+                        " exceeds the configured buffer depth " + std::to_string(buffer_depth),
+                    "deepen the buffer or re-anneal the address assignment");
+        else
+            rep.add("mem.conflict-proof", Severity::Note, std::string(phase) + " phase",
+                    "peak " + std::to_string(proof.peak_pending) + " of " +
+                        std::to_string(buffer_depth) + " buffer words (" +
+                        std::to_string(proof.blocked_events) + " deferred writes over " +
+                        std::to_string(proof.cycles) + " cycles)");
+    };
+    judge("check", check);
+    judge("variable", variable);
+    return rep;
+}
+
+Report lint_memory(const arch::HardwareMapping& mapping, const arch::MemoryConfig& cfg,
+                   int buffer_depth) {
+    return lint_memory(make_schedule_model(mapping), cfg, buffer_depth);
+}
+
+}  // namespace dvbs2::analysis

@@ -1,0 +1,68 @@
+// Rule family `mem.*`: static single-port RAM conflict proof (paper Sec. 4,
+// Fig. 5).
+//
+// The message RAM is partitioned into num_banks single-port RAMs by the low
+// address bits. The analyzer enumerates, purely from the address assignment
+// and the fixed phase schedules, every cycle's port demands: the one read
+// (whose bank is busy that cycle) and the write-backs that become ready
+// (one per cycle per serial functional unit, pipeline_latency cycles after
+// a node's last read). Running the deterministic FIFO-with-lookahead drain
+// policy over that enumeration yields the exact peak number of words that
+// must wait in the conflict buffer — the same number the dynamic simulator
+// (arch/conflict.hpp) measures, but derived without decoding a single
+// frame. The proof obligation is peak <= buffer_depth for both phases.
+//
+// Rules:
+//   mem.config             degenerate memory configuration
+//   mem.conflict-overflow  static peak conflict count exceeds the
+//                          configured buffer depth
+//   mem.conflict-proof     (note) the proven per-phase peaks and margins
+#pragma once
+
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "analysis/lint_schedule.hpp"
+#include "arch/conflict.hpp"
+
+namespace dvbs2::analysis {
+
+/// Statically enumerated memory traffic of one phase.
+struct AccessPlan {
+    std::vector<int> read_addr;                  ///< cycle t reads read_addr[t]
+    std::vector<std::vector<int>> ready_writes;  ///< per cycle, write addresses
+                                                 ///< leaving the FU pipelines
+};
+
+/// Check-phase traffic: reads follow the ROM slot order; the check_deg-2
+/// write-backs of local CN r leave the pipeline one per cycle starting
+/// pipeline_latency cycles after the run's last read.
+AccessPlan enumerate_check_phase(const ScheduleModel& model, const arch::MemoryConfig& cfg);
+
+/// Variable-phase traffic: reads sweep addresses 0..W-1; a group's
+/// write-backs start pipeline_latency cycles after its last address was
+/// read, one per cycle.
+AccessPlan enumerate_variable_phase(const ScheduleModel& model, const arch::MemoryConfig& cfg);
+
+/// Exact outcome of draining an access plan through the conflict buffer.
+struct ConflictProof {
+    int peak_pending = 0;          ///< words simultaneously waiting (buffer depth needed)
+    long long blocked_events = 0;  ///< write attempts deferred by a busy bank
+    int cycles = 0;                ///< cycles until the buffer drains empty
+};
+
+/// Runs the deterministic drain recurrence: per cycle at most one access per
+/// bank (the read's bank is consumed by the read) and at most
+/// max_writes_per_cycle writes, taken FIFO-with-lookahead from the pending
+/// queue — the paper's small-CAM buffer policy.
+ConflictProof prove_plan(const AccessPlan& plan, const arch::MemoryConfig& cfg);
+
+/// Lints both phases of `model` against `cfg` and the configured
+/// `buffer_depth`; attaches the proof numbers as notes.
+Report lint_memory(const ScheduleModel& model, const arch::MemoryConfig& cfg, int buffer_depth);
+
+/// Convenience for the real artifact.
+Report lint_memory(const arch::HardwareMapping& mapping, const arch::MemoryConfig& cfg,
+                   int buffer_depth);
+
+}  // namespace dvbs2::analysis

@@ -1,0 +1,173 @@
+// dvbs2_lint — static invariant checker for DVB-S2 LDPC code tables,
+// decoder configurations, and the hardware architecture model.
+//
+// Runs the four rule families of src/analysis/ (code structure, schedule
+// legality, RAM conflict proof, fixed-point range analysis) over generated
+// standard tables or an external table file and reports machine-readable
+// diagnostics. Exit status: 0 clean, 1 at least one error finding, 2 usage
+// or I/O failure. See docs/lint.md for the rule catalogue.
+//
+//   dvbs2_lint --rate=all --frame=both            # lint every shipped code
+//   dvbs2_lint --rate=1/2 --format=json           # machine-readable output
+//   dvbs2_lint --table=my.tbl --rate=1/2          # external table file
+//   dvbs2_lint --rate=3/4 --check-rule=offset --offset=8.0   # bad config demo
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "code/table_io.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace dvbs2;
+
+std::optional<code::CodeRate> parse_rate(const std::string& s) {
+    for (code::CodeRate r : code::all_rates())
+        if (code::to_string(r) == s) return r;
+    return std::nullopt;
+}
+
+std::optional<core::CheckRule> parse_rule(const std::string& s) {
+    if (s == "exact") return core::CheckRule::Exact;
+    if (s == "minsum") return core::CheckRule::MinSum;
+    if (s == "normalized") return core::CheckRule::NormalizedMinSum;
+    if (s == "offset") return core::CheckRule::OffsetMinSum;
+    return std::nullopt;
+}
+
+std::optional<core::Schedule> parse_schedule(const std::string& s) {
+    if (s == "two-phase") return core::Schedule::TwoPhase;
+    if (s == "zigzag") return core::Schedule::ZigzagForward;
+    if (s == "zigzag-segmented") return core::Schedule::ZigzagSegmented;
+    if (s == "zigzag-map") return core::Schedule::ZigzagMap;
+    if (s == "layered") return core::Schedule::Layered;
+    return std::nullopt;
+}
+
+struct Target {
+    std::string name;
+    code::CodeParams params;
+    std::optional<code::IraTables> tables;  ///< nullopt = generate from seed
+};
+
+int usage(const std::string& msg) {
+    std::cerr << "dvbs2_lint: " << msg << "\n"
+              << "usage: dvbs2_lint [--rate=all|1/4|...|9/10] [--frame=long|short|both]\n"
+              << "                  [--table=FILE] [--format=text|json]\n"
+              << "                  [--banks=N] [--writes=N] [--latency=N] [--buffer-depth=N]\n"
+              << "                  [--no-anneal] [--bits=N --frac=N]\n"
+              << "                  [--schedule=S] [--check-rule=R] [--normalization=X] "
+                 "[--offset=X]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        util::CliArgs args(argc, argv,
+                           {"rate", "frame", "table", "format", "banks", "writes", "latency",
+                            "buffer-depth", "no-anneal", "bits", "frac", "schedule",
+                            "check-rule", "normalization", "offset", "quiet"});
+
+        analysis::LintOptions opts;
+        opts.memory.num_banks = static_cast<int>(args.get_int("banks", 4));
+        opts.memory.max_writes_per_cycle = static_cast<int>(args.get_int("writes", 2));
+        opts.memory.pipeline_latency = static_cast<int>(args.get_int("latency", 4));
+        opts.buffer_depth = static_cast<int>(args.get_int("buffer-depth", 4));
+        opts.run_anneal = !args.has("no-anneal");
+        opts.decoder.normalization = args.get_double("normalization", opts.decoder.normalization);
+        opts.decoder.offset = args.get_double("offset", opts.decoder.offset);
+        if (args.has("schedule")) {
+            const auto s = parse_schedule(args.get("schedule", ""));
+            if (!s) return usage("unknown --schedule");
+            opts.decoder.schedule = *s;
+        }
+        if (args.has("check-rule")) {
+            const auto r = parse_rule(args.get("check-rule", ""));
+            if (!r) return usage("unknown --check-rule (exact|minsum|normalized|offset)");
+            opts.decoder.rule = *r;
+        }
+        if (args.has("bits") || args.has("frac")) {
+            quant::QuantSpec spec;
+            spec.total_bits = static_cast<int>(args.get_int("bits", 6));
+            spec.frac_bits = static_cast<int>(args.get_int("frac", 2));
+            opts.quant_specs = {spec};
+        }
+
+        const std::string format = args.get("format", "text");
+        if (format != "text" && format != "json") return usage("unknown --format");
+        const bool quiet = args.has("quiet");
+
+        // --- assemble lint targets ---
+        const std::string rate_arg = args.get("rate", "all");
+        const std::string frame_arg = args.get("frame", "long");
+        std::vector<code::FrameSize> frames;
+        if (frame_arg == "long") frames = {code::FrameSize::Long};
+        else if (frame_arg == "short") frames = {code::FrameSize::Short};
+        else if (frame_arg == "both") frames = {code::FrameSize::Long, code::FrameSize::Short};
+        else return usage("unknown --frame (long|short|both)");
+
+        std::vector<Target> targets;
+        if (args.has("table")) {
+            const auto rate = parse_rate(rate_arg);
+            if (!rate) return usage("--table needs an explicit --rate for its parameter set");
+            const std::string path = args.get("table", "");
+            std::ifstream in(path);
+            if (!in) {
+                std::cerr << "dvbs2_lint: cannot open " << path << "\n";
+                return 2;
+            }
+            Target t;
+            t.params = code::standard_params(*rate, frames.front());
+            t.name = path + " as " + t.params.name;
+            t.tables = code::load_tables(in);
+            targets.push_back(std::move(t));
+        } else {
+            for (code::FrameSize frame : frames) {
+                for (code::CodeRate r : code::rates_for(frame)) {
+                    if (rate_arg != "all" && code::to_string(r) != rate_arg) continue;
+                    Target t;
+                    t.params = code::standard_params(r, frame);
+                    t.name = t.params.name;
+                    targets.push_back(std::move(t));
+                }
+            }
+            if (targets.empty()) return usage("unknown --rate");
+        }
+
+        // --- run ---
+        std::size_t errors = 0;
+        bool first_json = true;
+        if (format == "json") std::cout << "[\n";
+        for (const Target& t : targets) {
+            const analysis::Report rep =
+                t.tables ? analysis::lint_configuration(t.params, *t.tables, opts)
+                         : analysis::lint_configuration(t.params, opts);
+            errors += rep.error_count();
+            if (format == "json") {
+                if (!first_json) std::cout << ",\n";
+                first_json = false;
+                std::cout << "{\"target\": \"" << t.name << "\", \"report\": ";
+                analysis::render_json(std::cout, rep);
+                std::cout << "}";
+            } else if (!quiet || !rep.clean()) {
+                std::cout << "== " << t.name << " ==\n";
+                analysis::render_text(std::cout, rep);
+            }
+        }
+        if (format == "json") std::cout << "\n]\n";
+        if (format == "text")
+            std::cout << (errors == 0 ? "LINT PASS" : "LINT FAIL") << " (" << targets.size()
+                      << " target(s), " << errors << " error(s))\n";
+        return errors == 0 ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::cerr << "dvbs2_lint: " << e.what() << "\n";
+        return 2;
+    }
+}
