@@ -1,0 +1,155 @@
+// SIMD decoder bench — single-thread throughput of the group-parallel SIMD
+// fixed-point backend vs the scalar MpDecoder<FixedArith> reference, per
+// schedule, on the full-size code. Every timed channel vector is also used
+// for a message-level bit-exactness check (c2v / v2c / backward after the
+// timed iteration count); any divergence makes the bench exit nonzero, so
+// the CI perf-smoke job doubles as an end-to-end equivalence gate.
+//
+// Flags:
+//   --rate=1/2        code rate under test (default 1/2)
+//   --iters=10        message-passing iterations per frame
+//   --frames=8        timed frames per engine (after 1 warmup frame)
+//   --json=PATH       write machine-readable results (BENCH_decoder.json)
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "code/tanner.hpp"
+#include "core/arith.hpp"
+#include "core/decoder.hpp"
+#include "core/mp_decoder.hpp"
+#include "core/simd/simd_decoder.hpp"
+#include "quant/fixed.hpp"
+
+#include <chrono>
+
+using namespace dvbs2;
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<quant::QLLR> random_channel(const code::Dvbs2Code& code, std::uint64_t seed) {
+    std::vector<quant::QLLR> ch(static_cast<std::size_t>(code.n()));
+    const std::uint64_t span = static_cast<std::uint64_t>(2 * quant::kQuant6.max_raw() + 1);
+    for (auto& v : ch)
+        v = static_cast<quant::QLLR>(static_cast<std::int64_t>(splitmix64(seed) % span) -
+                                     quant::kQuant6.max_raw());
+    return ch;
+}
+
+struct Row {
+    std::string schedule;
+    double scalar_mbps = 0.0;
+    double simd_mbps = 0.0;
+    double speedup = 0.0;
+    bool bit_exact = false;
+};
+
+/// Times `frames` runs of `iters` full iterations; returns coded Mbit/s.
+template <class Engine>
+double time_engine(Engine& eng, const std::vector<std::vector<quant::QLLR>>& channels,
+                   int iters, int n_bits) {
+    eng.run_iterations(channels[0], iters);  // warmup: touch all state once
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& ch : channels) eng.run_iterations(ch, iters);
+    const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return s > 0.0 ? static_cast<double>(n_bits) * static_cast<double>(channels.size()) / s / 1e6
+                   : 0.0;
+}
+
+bool messages_equal(const core::MpDecoder<core::FixedArith>& a, const core::SimdFixedDecoder& b) {
+    return a.c2v_messages() == b.c2v_messages() && a.v2c_messages() == b.v2c_messages() &&
+           a.backward_messages() == b.backward_messages();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::CliArgs args(argc, argv, {"rate", "iters", "frames", "json"});
+    const code::CodeRate rate = bench::parse_rate(args.get("rate", "1/2"));
+    const int iters = static_cast<int>(args.get_int("iters", 10));
+    const int frames = static_cast<int>(args.get_int("frames", 8));
+
+    bench::banner("SIMD", "group-parallel SIMD backend vs scalar reference (1 thread)");
+    std::cout << "backend=" << core::simd_backend_name() << " width=" << core::simd_backend_width()
+              << " rate=" << code::to_string(rate) << " iters=" << iters << " frames=" << frames
+              << "\n\n";
+
+    const code::Dvbs2Code code(code::standard_params(rate));
+    std::vector<std::vector<quant::QLLR>> channels;
+    for (int f = 0; f < frames; ++f)
+        channels.push_back(random_channel(code, 0xBE11C + static_cast<std::uint64_t>(f)));
+
+    const quant::BoxplusTable table(quant::kQuant6);
+    std::vector<Row> rows;
+    bool all_exact = true;
+    double max_speedup = 0.0;
+    util::TextTable t;
+    t.set_header({"Schedule", "scalar Mbit/s", "SIMD Mbit/s", "speedup", "bit-exact"});
+    for (const core::Schedule schedule :
+         {core::Schedule::TwoPhase, core::Schedule::ZigzagSegmented}) {
+        core::DecoderConfig cfg;
+        cfg.schedule = schedule;
+        cfg.rule = core::CheckRule::Exact;
+        core::MpDecoder<core::FixedArith> scalar(
+            code, cfg, core::FixedArith(cfg.rule, quant::kQuant6, &table, cfg.normalization,
+                                        cfg.offset));
+        core::SimdFixedDecoder simd(code, cfg, quant::kQuant6);
+
+        Row row;
+        row.schedule = core::to_string(schedule);
+        row.scalar_mbps = time_engine(scalar, channels, iters, code.n());
+        row.simd_mbps = time_engine(simd, channels, iters, code.n());
+        row.speedup = row.scalar_mbps > 0.0 ? row.simd_mbps / row.scalar_mbps : 0.0;
+
+        // Both engines last decoded channels.back(); compare final state,
+        // then re-check on the first vector for good measure.
+        row.bit_exact = messages_equal(scalar, simd);
+        if (row.bit_exact) {
+            scalar.run_iterations(channels[0], iters);
+            simd.run_iterations(channels[0], iters);
+            row.bit_exact = messages_equal(scalar, simd);
+        }
+        all_exact = all_exact && row.bit_exact;
+        max_speedup = std::max(max_speedup, row.speedup);
+        rows.push_back(row);
+        t.add_row({row.schedule, util::TextTable::num(row.scalar_mbps, 1),
+                   util::TextTable::num(row.simd_mbps, 1), util::TextTable::num(row.speedup, 2),
+                   row.bit_exact ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+
+    if (args.has("json")) {
+        std::ofstream os(args.get("json", ""));
+        os << "{\n  \"bench\": \"bench_simd_kernels\",\n"
+           << "  \"backend\": \"" << core::simd_backend_name() << "\",\n"
+           << "  \"width\": " << core::simd_backend_width() << ",\n"
+           << "  \"rate\": \"" << code::to_string(rate) << "\",\n"
+           << "  \"iters\": " << iters << ",\n  \"frames\": " << frames << ",\n"
+           << "  \"results\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row& r = rows[i];
+            os << "    {\"schedule\": \"" << r.schedule << "\", \"scalar_mbps\": " << r.scalar_mbps
+               << ", \"simd_mbps\": " << r.simd_mbps << ", \"speedup\": " << r.speedup
+               << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false") << "}"
+               << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n  \"max_speedup\": " << max_speedup << ",\n"
+           << "  \"all_bit_exact\": " << (all_exact ? "true" : "false") << "\n}\n";
+        std::cout << "\nwrote " << args.get("json", "") << "\n";
+    }
+
+    std::cout << (all_exact ? "SIMD PASS: all schedules bit-exact with the scalar reference\n"
+                            : "SIMD FAIL: message divergence from the scalar reference\n");
+    return all_exact ? 0 : 1;
+}

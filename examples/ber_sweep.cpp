@@ -4,8 +4,13 @@
 //
 //   ./ber_sweep [--rate=1/2] [--from=0.6] [--to=1.6] [--step=0.2]
 //               [--frames=50] [--iters=30] [--fixed] [--bits=6]
-//               [--schedule=zigzag|twophase|map] [--csv=out.csv]
+//               [--schedule=zigzag|twophase|segmented|map]
+//               [--backend=scalar|simd] [--csv=out.csv]
 //               [--threads=N] [--progress]
+//
+// --backend=simd selects the group-parallel SIMD fixed-point engine
+// (requires --fixed and a twophase or segmented schedule); results are
+// bit-identical to the scalar backend (pinned by tests/test_simd.cpp).
 //
 // Runs on the frame-parallel Monte-Carlo engine: results are bit-identical
 // for every --threads value (see comm/parallel.hpp).
@@ -35,8 +40,15 @@ code::CodeRate parse_rate(const std::string& s) {
 core::Schedule parse_schedule(const std::string& s) {
     if (s == "zigzag") return core::Schedule::ZigzagForward;
     if (s == "twophase") return core::Schedule::TwoPhase;
+    if (s == "segmented") return core::Schedule::ZigzagSegmented;
     if (s == "map") return core::Schedule::ZigzagMap;
     throw std::runtime_error("unknown schedule " + s);
+}
+
+core::DecoderBackend parse_backend(const std::string& s) {
+    if (s == "scalar") return core::DecoderBackend::Scalar;
+    if (s == "simd") return core::DecoderBackend::Simd;
+    throw std::runtime_error("unknown backend " + s + " (scalar or simd)");
 }
 
 }  // namespace
@@ -44,15 +56,18 @@ core::Schedule parse_schedule(const std::string& s) {
 int main(int argc, char** argv) try {
     const util::CliArgs args(argc, argv,
                              {"rate", "from", "to", "step", "frames", "iters", "fixed", "bits",
-                              "schedule", "csv", "threads", "progress"});
+                              "schedule", "backend", "csv", "threads", "progress"});
     const auto rate = parse_rate(args.get("rate", "1/2"));
     const code::Dvbs2Code ldpc(code::standard_params(rate));
 
     core::DecoderConfig cfg;
     cfg.schedule = parse_schedule(args.get("schedule", "zigzag"));
+    cfg.backend = parse_backend(args.get("backend", "scalar"));
     cfg.max_iterations = static_cast<int>(args.get_int("iters", 30));
 
     const bool fixed = args.has("fixed");
+    if (cfg.backend == core::DecoderBackend::Simd && !fixed)
+        throw std::runtime_error("--backend=simd models the fixed-point datapath; add --fixed");
     const int bits = static_cast<int>(args.get_int("bits", 6));
     const quant::QuantSpec spec = bits == 5 ? quant::kQuant5 : quant::kQuant6;
 
@@ -90,12 +105,18 @@ int main(int argc, char** argv) try {
     std::vector<double> snrs;
     const double from = args.get_double("from", 0.6), to = args.get_double("to", 1.6),
                  step = args.get_double("step", 0.2);
-    for (double s = from; s <= to + 1e-9; s += step) snrs.push_back(s);
+    // Index stepping: no floating-point drift over long sweeps (each point's
+    // RNG stream hashes the Eb/N0 bit pattern, so the grid must be exact).
+    for (std::uint64_t i = 0;; ++i) {
+        const double s = from + static_cast<double>(i) * step;
+        if (s > to + 1e-9) break;
+        snrs.push_back(s);
+    }
 
     std::cout << ldpc.params().name << ", " << (fixed ? "fixed " + std::to_string(bits) + "-bit"
                                                       : std::string("float"))
-              << ", " << core::to_string(cfg.schedule) << ", " << cfg.max_iterations
-              << " iterations\n";
+              << ", " << core::to_string(cfg.schedule) << ", " << core::to_string(cfg.backend)
+              << " backend, " << cfg.max_iterations << " iterations\n";
     std::cout << "Shannon limit (BPSK-constrained): "
               << comm::shannon_limit_bpsk_db(ldpc.params().rate()) << " dB\n\n";
 

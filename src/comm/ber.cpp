@@ -53,15 +53,21 @@ std::vector<BerPoint> simulate_sweep(const code::Dvbs2Code& code, const DecodeFn
     return points;
 }
 
-double find_threshold_db(const code::Dvbs2Code& code, const DecodeFn& decode, double target_ber,
-                         double start_db, double step_db, const SimConfig& cfg, double max_db) {
+std::optional<double> find_threshold_db(const code::Dvbs2Code& code, const DecodeFn& decode,
+                                        double target_ber, double start_db, double step_db,
+                                        const SimConfig& cfg, double max_db) {
     DVBS2_REQUIRE(step_db > 0.0, "step must be positive");
     const auto k_bits = static_cast<std::uint64_t>(code.params().k);
-    for (double snr = start_db; snr <= max_db + 1e-9; snr += step_db) {
+    // Index-based stepping: snr = start + i·step is computed fresh per point,
+    // so long scans do not accumulate floating-point drift (the former
+    // `snr += step` loop needed a max_db fudge to terminate predictably).
+    for (std::uint64_t i = 0;; ++i) {
+        const double snr = start_db + static_cast<double>(i) * step_db;
+        if (snr > max_db + 1e-9) break;
         const BerPoint pt = simulate_point(code, decode, snr, cfg);
         if (pt.ber(k_bits) < target_ber) return snr;
     }
-    return max_db;  // not reached within the scan range
+    return std::nullopt;  // target BER never reached within the scan range
 }
 
 }  // namespace dvbs2::comm

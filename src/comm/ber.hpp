@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -134,10 +135,14 @@ std::vector<BerPoint> simulate_sweep(const code::Dvbs2Code& code, const DecodeFn
                                      const std::vector<double>& ebn0_db, const SimConfig& cfg);
 
 /// Finds the smallest Eb/N0 (dB, within `step_db`) at which the measured BER
-/// drops below `target_ber`, scanning upward from `start_db`. Used for
-/// threshold/gap measurements (E4, E7, E8).
-double find_threshold_db(const code::Dvbs2Code& code, const DecodeFn& decode, double target_ber,
-                         double start_db, double step_db, const SimConfig& cfg,
-                         double max_db = 12.0);
+/// drops below `target_ber`, scanning upward from `start_db`. Scan points are
+/// start_db + i·step_db (index-stepped, no floating-point accumulation
+/// drift); the last point tested is the largest one ≤ max_db. Returns
+/// std::nullopt when no scanned point meets the target — distinguishable
+/// from a threshold exactly at max_db. Used for threshold/gap measurements
+/// (E4, E7, E8).
+std::optional<double> find_threshold_db(const code::Dvbs2Code& code, const DecodeFn& decode,
+                                        double target_ber, double start_db, double step_db,
+                                        const SimConfig& cfg, double max_db = 12.0);
 
 }  // namespace dvbs2::comm

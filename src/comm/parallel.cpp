@@ -211,19 +211,24 @@ std::vector<BerPoint> simulate_sweep_parallel(const code::Dvbs2Code& code,
     return points;
 }
 
-double find_threshold_db_parallel(const code::Dvbs2Code& code, const DecodeFactory& factory,
-                                  double target_ber, double start_db, double step_db,
-                                  const SimConfig& cfg, double max_db) {
+std::optional<double> find_threshold_db_parallel(const code::Dvbs2Code& code,
+                                                 const DecodeFactory& factory, double target_ber,
+                                                 double start_db, double step_db,
+                                                 const SimConfig& cfg, double max_db) {
     DVBS2_REQUIRE(step_db > 0.0, "step must be positive");
     const auto k_bits = static_cast<std::uint64_t>(code.params().k);
     const unsigned threads = util::resolve_thread_count(cfg.threads);
     util::ThreadPool pool(threads > 1 ? threads : 1);
     util::ThreadPool* shared = threads > 1 ? &pool : nullptr;
-    for (double snr = start_db; snr <= max_db + 1e-9; snr += step_db) {
+    // Index-based stepping (see find_threshold_db): no accumulation drift,
+    // and scan points are bit-identical to the serial variant's.
+    for (std::uint64_t i = 0;; ++i) {
+        const double snr = start_db + static_cast<double>(i) * step_db;
+        if (snr > max_db + 1e-9) break;
         const BerPoint pt = simulate_point_parallel(code, factory, snr, cfg, shared);
         if (pt.ber(k_bits) < target_ber) return snr;
     }
-    return max_db;  // not reached within the scan range
+    return std::nullopt;  // target BER never reached within the scan range
 }
 
 }  // namespace dvbs2::comm

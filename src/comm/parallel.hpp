@@ -48,9 +48,12 @@ std::vector<BerPoint> simulate_sweep_parallel(const code::Dvbs2Code& code,
                                               const std::vector<double>& ebn0_db,
                                               const SimConfig& cfg);
 
-/// Parallel counterpart of find_threshold_db (same scan semantics).
-double find_threshold_db_parallel(const code::Dvbs2Code& code, const DecodeFactory& factory,
-                                  double target_ber, double start_db, double step_db,
-                                  const SimConfig& cfg, double max_db = 12.0);
+/// Parallel counterpart of find_threshold_db (same scan semantics:
+/// index-stepped points start_db + i·step_db, std::nullopt when the target
+/// BER is never reached within the scan range).
+std::optional<double> find_threshold_db_parallel(const code::Dvbs2Code& code,
+                                                 const DecodeFactory& factory, double target_ber,
+                                                 double start_db, double step_db,
+                                                 const SimConfig& cfg, double max_db = 12.0);
 
 }  // namespace dvbs2::comm

@@ -4,6 +4,7 @@
 
 #include "core/arith.hpp"
 #include "core/mp_decoder.hpp"
+#include "core/simd/simd_decoder.hpp"
 
 namespace dvbs2::core {
 
@@ -28,11 +29,23 @@ const char* to_string(CheckRule r) {
     return "?";
 }
 
+const char* to_string(DecoderBackend b) {
+    switch (b) {
+        case DecoderBackend::Scalar: return "scalar";
+        case DecoderBackend::Simd: return "simd";
+    }
+    return "?";
+}
+
 // ---------------------------------------------------------------- Decoder
 
 struct Decoder::Impl {
     Impl(const code::Dvbs2Code& code, const DecoderConfig& cfg)
-        : config(cfg), engine(code, cfg, FloatArith(cfg.rule, cfg.normalization, cfg.offset)) {}
+        : config(cfg), engine(code, cfg, FloatArith(cfg.rule, cfg.normalization, cfg.offset)) {
+        DVBS2_REQUIRE(cfg.backend == DecoderBackend::Scalar,
+                      "the SIMD backend models the fixed-point datapath only; "
+                      "use FixedDecoder for DecoderBackend::Simd");
+    }
 
     DecoderConfig config;
     MpDecoder<FloatArith> engine;
@@ -64,17 +77,28 @@ const DecoderConfig& Decoder::config() const noexcept { return impl_->config; }
 
 struct FixedDecoder::Impl {
     Impl(const code::Dvbs2Code& code, const DecoderConfig& cfg, const quant::QuantSpec& sp)
-        : config(cfg),
-          spec(sp),
-          table(sp),
-          engine(code, cfg,
-                 FixedArith(cfg.rule, sp, cfg.rule == CheckRule::Exact ? &table : nullptr,
-                            cfg.normalization, cfg.offset)) {}
+        : config(cfg), spec(sp), table(sp) {
+        if (cfg.backend == DecoderBackend::Simd) {
+            simd_engine = std::make_unique<SimdFixedDecoder>(code, cfg, sp);
+        } else {
+            scalar_engine = std::make_unique<MpDecoder<FixedArith>>(
+                code, cfg,
+                FixedArith(cfg.rule, sp, cfg.rule == CheckRule::Exact ? &table : nullptr,
+                           cfg.normalization, cfg.offset));
+        }
+    }
+
+    DecodeResult decode_values(const std::vector<quant::QLLR>& q) {
+        return simd_engine ? simd_engine->decode_values(q) : scalar_engine->decode_values(q);
+    }
 
     DecoderConfig config;
     quant::QuantSpec spec;
     quant::BoxplusTable table;
-    MpDecoder<FixedArith> engine;
+    // Exactly one engine is live, selected by config.backend; both produce
+    // bit-identical messages and results (pinned by tests/test_simd.cpp).
+    std::unique_ptr<MpDecoder<FixedArith>> scalar_engine;
+    std::unique_ptr<SimdFixedDecoder> simd_engine;
 };
 
 FixedDecoder::FixedDecoder(const code::Dvbs2Code& code, const DecoderConfig& cfg,
@@ -91,25 +115,35 @@ DecodeResult FixedDecoder::decode(const std::vector<double>& llr) {
                       "non-finite channel LLR at index " + std::to_string(i));
         q[i] = quant::quantize(llr[i], impl_->spec);
     }
-    return impl_->engine.decode_values(q);
+    return impl_->decode_values(q);
 }
 
 DecodeResult FixedDecoder::decode_raw(const std::vector<quant::QLLR>& qllr) {
-    return impl_->engine.decode_values(qllr);
+    return impl_->decode_values(qllr);
 }
 
 void FixedDecoder::set_cn_order(std::vector<int> order) {
-    impl_->engine.set_cn_order(std::move(order));
+    DVBS2_REQUIRE(impl_->scalar_engine != nullptr,
+                  "per-check-node input orders require DecoderBackend::Scalar "
+                  "(the SIMD engine processes the canonical slot order)");
+    impl_->scalar_engine->set_cn_order(std::move(order));
 }
 
 void FixedDecoder::set_observer(std::function<void(const IterationTrace&)> observer) {
-    impl_->engine.set_observer(std::move(observer));
+    if (impl_->simd_engine)
+        impl_->simd_engine->set_observer(std::move(observer));
+    else
+        impl_->scalar_engine->set_observer(std::move(observer));
 }
 
 std::vector<quant::QLLR> FixedDecoder::run_and_dump_c2v(const std::vector<quant::QLLR>& qllr,
                                                         int iters) {
-    impl_->engine.run_iterations(qllr, iters);
-    return impl_->engine.c2v_messages();
+    if (impl_->simd_engine) {
+        impl_->simd_engine->run_iterations(qllr, iters);
+        return impl_->simd_engine->c2v_messages();
+    }
+    impl_->scalar_engine->run_iterations(qllr, iters);
+    return impl_->scalar_engine->c2v_messages();
 }
 
 const quant::QuantSpec& FixedDecoder::spec() const noexcept { return impl_->spec; }

@@ -1,0 +1,106 @@
+// Lane-parallel fixed-point check-node arithmetic.
+//
+// `LaneFixedArith<V>` performs, in every vector lane, exactly the integer
+// operations of core/arith.hpp's FixedArith — same saturation bounds, same
+// correction-LUT boxplus, same rounding in the min-sum finalizers — so a
+// lane's message stream is bit-identical to the scalar decoder's. The class
+// satisfies the `Arith` concept of core/kernels.hpp (Value + combine), which
+// lets the SIMD decoder reuse compute_extrinsics verbatim: the per-check-node
+// serial prefix/suffix recursion is unchanged, only the independent check
+// nodes of a group are spread across lanes.
+//
+// Sign tricks used throughout (two's complement, lanes are int32):
+//   sign mask   m = v >> 31            (all-ones iff v < 0)
+//   negate-if   (x ^ m) - m            (x if m == 0, -x if m == all-ones)
+//   product sign  (a ^ b) >> 31        (all-ones iff signs differ)
+#pragma once
+
+#include "core/simd/vec.hpp"
+#include "core/types.hpp"
+#include "quant/fixed.hpp"
+#include "util/error.hpp"
+
+#include <cmath>
+
+namespace dvbs2::core::simd {
+
+template <class V>
+class LaneFixedArith {
+public:
+    using Value = typename V::reg;
+
+    /// Mirrors FixedArith's constructor; `table` must outlive the object and
+    /// is only required for CheckRule::Exact.
+    LaneFixedArith(CheckRule rule, const quant::QuantSpec& spec, const quant::BoxplusTable* table,
+                   double normalization, double offset)
+        : rule_(rule),
+          max_raw_(spec.max_raw()),
+          norm_num_(static_cast<std::int32_t>(std::lround(normalization * 16.0))),
+          offset_raw_(quant::quantize(offset, spec)),
+          corr_data_(table != nullptr ? table->corr_data() : nullptr),
+          corr_len_(table != nullptr ? static_cast<std::int32_t>(table->corr_size()) : 0) {
+        if (rule == CheckRule::Exact) {
+            DVBS2_REQUIRE(table != nullptr, "Exact fixed rule needs a BoxplusTable");
+            DVBS2_REQUIRE(table->spec() == spec, "BoxplusTable spec mismatch");
+        }
+    }
+
+    /// Lane-wise symmetric saturation into [-max_raw, +max_raw].
+    Value saturate(Value w) const {
+        return V::min(V::max(w, V::broadcast(-max_raw_)), V::broadcast(max_raw_));
+    }
+    Value narrow(Value w) const { return saturate(w); }
+
+    /// Lane-wise pairwise combine; bit-exact with FixedArith::combine.
+    Value combine(Value a, Value b) const {
+        const Value prod_sign = V::template srai<31>(V::xor_(a, b));
+        const Value m = V::min(V::abs_(a), V::abs_(b));
+        const Value signed_m = negate_if(m, prod_sign);
+        if (rule_ != CheckRule::Exact) return signed_m;
+        const Value ca = corr(V::abs_(V::add(a, b)));
+        const Value cb = corr(V::abs_(V::sub(a, b)));
+        return saturate(V::add(signed_m, V::sub(ca, cb)));
+    }
+
+    /// Lane-wise output post-processing; bit-exact with FixedArith::finalize.
+    Value finalize(Value v) const {
+        switch (rule_) {
+            case CheckRule::NormalizedMinSum: {
+                // rounded = scaled >= 0 ? (scaled+8)>>4 : -((-scaled+8)>>4)
+                const Value scaled = V::mullo(v, V::broadcast(norm_num_));
+                const Value m = V::template srai<31>(scaled);
+                const Value mag = V::template srai<4>(V::add(negate_if(scaled, m), V::broadcast(8)));
+                return saturate(negate_if(mag, m));
+            }
+            case CheckRule::OffsetMinSum: {
+                // mag = |v| - offset; mag <= 0 ? 0 : copysign(mag, v)
+                const Value mag = V::sub(V::abs_(v), V::broadcast(offset_raw_));
+                const Value res = negate_if(mag, V::template srai<31>(v));
+                return V::and_(res, V::cmpgt(mag, V::broadcast(0)));
+            }
+            default: return v;
+        }
+    }
+
+private:
+    static Value negate_if(Value x, Value mask) { return V::sub(V::xor_(x, mask), mask); }
+
+    /// Lane-wise correction lookup: table[idx] for idx < len, else 0. The
+    /// gather index is clamped into bounds; out-of-range lanes are masked to
+    /// zero afterwards (corr is identically 0 beyond the table).
+    Value corr(Value idx) const {
+        const Value len = V::broadcast(corr_len_);
+        const Value safe = V::min(idx, V::broadcast(corr_len_ - 1));
+        const Value val = V::gather(corr_data_, safe);
+        return V::and_(val, V::cmpgt(len, idx));
+    }
+
+    CheckRule rule_;
+    std::int32_t max_raw_;
+    std::int32_t norm_num_;
+    std::int32_t offset_raw_;
+    const std::int32_t* corr_data_;
+    std::int32_t corr_len_;
+};
+
+}  // namespace dvbs2::core::simd

@@ -1,0 +1,217 @@
+// Portable fixed-width integer vector layer for the SIMD decoder backend.
+//
+// Each backend exposes the same static interface over a register of
+// `width` lanes of int32 (the raw quantized-LLR type): loads/stores,
+// saturating-add building blocks (add/sub/min/max/abs), sign manipulation
+// (xor/and/srai/cmpgt), a multiply for the normalized-min-sum scale, and a
+// gather for the boxplus correction LUT. The backend is chosen at configure
+// time (CMake option DVBS2_SIMD → one DVBS2_SIMD_* macro); exactly one TU
+// (simd_decoder.cpp) includes this header, so the rest of the tree builds
+// without target-specific compiler flags.
+//
+// Every operation is integer-exact, so any backend produces bit-identical
+// messages; the scalar fallback doubles as the reference for platforms
+// without intrinsics.
+#pragma once
+
+#include <cstdint>
+
+#if !defined(DVBS2_SIMD_AVX2) && !defined(DVBS2_SIMD_SSE4) && !defined(DVBS2_SIMD_NEON) && \
+    !defined(DVBS2_SIMD_SCALAR)
+#define DVBS2_SIMD_SCALAR
+#endif
+
+#if defined(DVBS2_SIMD_AVX2) || defined(DVBS2_SIMD_SSE4)
+#include <immintrin.h>
+#elif defined(DVBS2_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace dvbs2::core::simd {
+
+/// Reference backend: plain lane loops the compiler may auto-vectorize.
+/// `W` is a power of two dividing the group parallelism handled in blocks.
+template <int W>
+struct VecScalar {
+    static constexpr int width = W;
+    struct reg {
+        std::int32_t lane[W];
+    };
+
+    static reg load(const std::int32_t* p) {
+        reg r;
+        for (int i = 0; i < W; ++i) r.lane[i] = p[i];
+        return r;
+    }
+    static void store(std::int32_t* p, reg v) {
+        for (int i = 0; i < W; ++i) p[i] = v.lane[i];
+    }
+    static reg broadcast(std::int32_t x) {
+        reg r;
+        for (int i = 0; i < W; ++i) r.lane[i] = x;
+        return r;
+    }
+    static reg add(reg a, reg b) {
+        for (int i = 0; i < W; ++i) a.lane[i] += b.lane[i];
+        return a;
+    }
+    static reg sub(reg a, reg b) {
+        for (int i = 0; i < W; ++i) a.lane[i] -= b.lane[i];
+        return a;
+    }
+    static reg min(reg a, reg b) {
+        for (int i = 0; i < W; ++i) a.lane[i] = a.lane[i] < b.lane[i] ? a.lane[i] : b.lane[i];
+        return a;
+    }
+    static reg max(reg a, reg b) {
+        for (int i = 0; i < W; ++i) a.lane[i] = a.lane[i] > b.lane[i] ? a.lane[i] : b.lane[i];
+        return a;
+    }
+    static reg abs_(reg a) {
+        for (int i = 0; i < W; ++i) a.lane[i] = a.lane[i] < 0 ? -a.lane[i] : a.lane[i];
+        return a;
+    }
+    static reg xor_(reg a, reg b) {
+        for (int i = 0; i < W; ++i) a.lane[i] ^= b.lane[i];
+        return a;
+    }
+    static reg and_(reg a, reg b) {
+        for (int i = 0; i < W; ++i) a.lane[i] &= b.lane[i];
+        return a;
+    }
+    static reg mullo(reg a, reg b) {
+        for (int i = 0; i < W; ++i) a.lane[i] *= b.lane[i];
+        return a;
+    }
+    template <int K>
+    static reg srai(reg a) {
+        for (int i = 0; i < W; ++i) a.lane[i] >>= K;
+        return a;
+    }
+    /// Per-lane all-ones where a > b, zero elsewhere.
+    static reg cmpgt(reg a, reg b) {
+        for (int i = 0; i < W; ++i) a.lane[i] = a.lane[i] > b.lane[i] ? -1 : 0;
+        return a;
+    }
+    static reg gather(const std::int32_t* base, reg idx) {
+        reg r;
+        for (int i = 0; i < W; ++i) r.lane[i] = base[idx.lane[i]];
+        return r;
+    }
+};
+
+#if defined(DVBS2_SIMD_AVX2)
+
+struct VecAvx2 {
+    static constexpr int width = 8;
+    using reg = __m256i;
+
+    static reg load(const std::int32_t* p) {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    static void store(std::int32_t* p, reg v) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+    }
+    static reg broadcast(std::int32_t x) { return _mm256_set1_epi32(x); }
+    static reg add(reg a, reg b) { return _mm256_add_epi32(a, b); }
+    static reg sub(reg a, reg b) { return _mm256_sub_epi32(a, b); }
+    static reg min(reg a, reg b) { return _mm256_min_epi32(a, b); }
+    static reg max(reg a, reg b) { return _mm256_max_epi32(a, b); }
+    static reg abs_(reg a) { return _mm256_abs_epi32(a); }
+    static reg xor_(reg a, reg b) { return _mm256_xor_si256(a, b); }
+    static reg and_(reg a, reg b) { return _mm256_and_si256(a, b); }
+    static reg mullo(reg a, reg b) { return _mm256_mullo_epi32(a, b); }
+    template <int K>
+    static reg srai(reg a) {
+        return _mm256_srai_epi32(a, K);
+    }
+    static reg cmpgt(reg a, reg b) { return _mm256_cmpgt_epi32(a, b); }
+    static reg gather(const std::int32_t* base, reg idx) {
+        return _mm256_i32gather_epi32(base, idx, 4);
+    }
+};
+
+using ActiveVec = VecAvx2;
+inline constexpr const char* kBackendName = "avx2";
+
+#elif defined(DVBS2_SIMD_SSE4)
+
+struct VecSse41 {
+    static constexpr int width = 4;
+    using reg = __m128i;
+
+    static reg load(const std::int32_t* p) {
+        return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    }
+    static void store(std::int32_t* p, reg v) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+    }
+    static reg broadcast(std::int32_t x) { return _mm_set1_epi32(x); }
+    static reg add(reg a, reg b) { return _mm_add_epi32(a, b); }
+    static reg sub(reg a, reg b) { return _mm_sub_epi32(a, b); }
+    static reg min(reg a, reg b) { return _mm_min_epi32(a, b); }
+    static reg max(reg a, reg b) { return _mm_max_epi32(a, b); }
+    static reg abs_(reg a) { return _mm_abs_epi32(a); }
+    static reg xor_(reg a, reg b) { return _mm_xor_si128(a, b); }
+    static reg and_(reg a, reg b) { return _mm_and_si128(a, b); }
+    static reg mullo(reg a, reg b) { return _mm_mullo_epi32(a, b); }
+    template <int K>
+    static reg srai(reg a) {
+        return _mm_srai_epi32(a, K);
+    }
+    static reg cmpgt(reg a, reg b) { return _mm_cmpgt_epi32(a, b); }
+    /// SSE4.1 has no gather instruction; emulate with lane loads.
+    static reg gather(const std::int32_t* base, reg idx) {
+        alignas(16) std::int32_t i[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(i), idx);
+        return _mm_setr_epi32(base[i[0]], base[i[1]], base[i[2]], base[i[3]]);
+    }
+};
+
+using ActiveVec = VecSse41;
+inline constexpr const char* kBackendName = "sse4";
+
+#elif defined(DVBS2_SIMD_NEON)
+
+struct VecNeon {
+    static constexpr int width = 4;
+    using reg = int32x4_t;
+
+    static reg load(const std::int32_t* p) { return vld1q_s32(p); }
+    static void store(std::int32_t* p, reg v) { vst1q_s32(p, v); }
+    static reg broadcast(std::int32_t x) { return vdupq_n_s32(x); }
+    static reg add(reg a, reg b) { return vaddq_s32(a, b); }
+    static reg sub(reg a, reg b) { return vsubq_s32(a, b); }
+    static reg min(reg a, reg b) { return vminq_s32(a, b); }
+    static reg max(reg a, reg b) { return vmaxq_s32(a, b); }
+    static reg abs_(reg a) { return vabsq_s32(a); }
+    static reg xor_(reg a, reg b) { return veorq_s32(a, b); }
+    static reg and_(reg a, reg b) { return vandq_s32(a, b); }
+    static reg mullo(reg a, reg b) { return vmulq_s32(a, b); }
+    template <int K>
+    static reg srai(reg a) {
+        return vshrq_n_s32(a, K);
+    }
+    static reg cmpgt(reg a, reg b) {
+        return vreinterpretq_s32_u32(vcgtq_s32(a, b));
+    }
+    /// NEON has no gather; emulate with lane loads.
+    static reg gather(const std::int32_t* base, reg idx) {
+        alignas(16) std::int32_t i[4];
+        vst1q_s32(i, idx);
+        const std::int32_t v[4] = {base[i[0]], base[i[1]], base[i[2]], base[i[3]]};
+        return vld1q_s32(v);
+    }
+};
+
+using ActiveVec = VecNeon;
+inline constexpr const char* kBackendName = "neon";
+
+#else
+
+using ActiveVec = VecScalar<8>;
+inline constexpr const char* kBackendName = "scalar";
+
+#endif
+
+}  // namespace dvbs2::core::simd

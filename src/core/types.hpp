@@ -38,11 +38,24 @@ enum class CheckRule {
     OffsetMinSum,       ///< min-sum with magnitude offset `offset`
 };
 
+/// Message-processing backend of the fixed-point decoder.
+enum class DecoderBackend {
+    /// Reference serial engine (core/mp_decoder.hpp); supports every
+    /// schedule and the float arithmetic.
+    Scalar,
+    /// Group-parallel SIMD engine (core/simd): vectorizes node processing
+    /// across the P independent functional units (one lane = one FU),
+    /// bit-exact with Scalar. Fixed-point only; supports TwoPhase and
+    /// ZigzagSegmented.
+    Simd,
+};
+
 /// Decoder configuration. Defaults reproduce the paper's operating point:
 /// 30 iterations of the optimized zigzag schedule with the exact rule.
 struct DecoderConfig {
     Schedule schedule = Schedule::ZigzagForward;
     CheckRule rule = CheckRule::Exact;
+    DecoderBackend backend = DecoderBackend::Scalar;
     int max_iterations = 30;
     bool early_stop = true;        ///< stop once the syndrome is satisfied
     double normalization = 0.75;   ///< NormalizedMinSum scale factor
@@ -68,5 +81,6 @@ struct IterationTrace {
 
 const char* to_string(Schedule s);
 const char* to_string(CheckRule r);
+const char* to_string(DecoderBackend b);
 
 }  // namespace dvbs2::core

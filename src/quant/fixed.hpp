@@ -87,6 +87,11 @@ public:
     /// Pairwise boxplus of two raw messages.
     QLLR boxplus(QLLR a, QLLR b) const noexcept;
 
+    /// Raw table access for vectorized gathers (core/simd): `corr_data()[i]`
+    /// equals `corr(i)` for i < corr_size(), and corr is 0 beyond that.
+    const QLLR* corr_data() const noexcept { return table_.data(); }
+    std::size_t corr_size() const noexcept { return table_.size(); }
+
 private:
     QuantSpec spec_;
     std::vector<QLLR> table_;  // corr indexed by raw magnitude

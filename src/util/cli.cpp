@@ -7,6 +7,32 @@
 
 namespace dvbs2::util {
 
+long long parse_int(const std::string& text, const std::string& what) {
+    std::size_t pos = 0;
+    long long v = 0;
+    try {
+        v = std::stoll(text, &pos);
+    } catch (const std::exception&) {
+        throw std::runtime_error(what + ": expected an integer, got \"" + text + "\"");
+    }
+    if (pos != text.size())
+        throw std::runtime_error(what + ": trailing characters after number in \"" + text + "\"");
+    return v;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(text, &pos);
+    } catch (const std::exception&) {
+        throw std::runtime_error(what + ": expected a number, got \"" + text + "\"");
+    }
+    if (pos != text.size())
+        throw std::runtime_error(what + ": trailing characters after number in \"" + text + "\"");
+    return v;
+}
+
 CliArgs::CliArgs(int argc, const char* const* argv, std::vector<std::string> allowed) {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -32,12 +58,12 @@ std::string CliArgs::get(const std::string& name, const std::string& def) const 
 
 long long CliArgs::get_int(const std::string& name, long long def) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? def : std::stoll(it->second);
+    return it == values_.end() ? def : parse_int(it->second, "--" + name);
 }
 
 double CliArgs::get_double(const std::string& name, double def) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? def : std::stod(it->second);
+    return it == values_.end() ? def : parse_double(it->second, "--" + name);
 }
 
 }  // namespace dvbs2::util

@@ -11,6 +11,14 @@
 
 namespace dvbs2::util {
 
+/// Strict numeric parsing for user-supplied text (CLI flags, environment
+/// variables). Unlike bare std::stoll/std::stod these reject empty input,
+/// trailing garbage ("8x") and out-of-range values with a std::runtime_error
+/// naming `what` (e.g. "--threads" or "DVBS2_THREADS") instead of letting an
+/// uncaught std::invalid_argument abort the program.
+long long parse_int(const std::string& text, const std::string& what);
+double parse_double(const std::string& text, const std::string& what);
+
 /// Parses `--key=value` / `--flag` arguments and serves typed lookups with
 /// defaults. Positional arguments are collected in order.
 class CliArgs {

@@ -1,7 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <cstdlib>
+#include <string>
 #include <utility>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
 
 namespace dvbs2::util {
 
@@ -63,12 +67,19 @@ void ThreadPool::worker_loop() {
     }
 }
 
-unsigned resolve_thread_count(unsigned requested) noexcept {
+unsigned resolve_thread_count(unsigned requested) {
     if (requested > 0) return requested;
     if (const char* env = std::getenv("DVBS2_THREADS")) {
-        char* end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0 && v <= 4096) return static_cast<unsigned>(v);
+        // An empty value counts as unset; anything else must be a valid
+        // positive integer. Malformed input used to fall back silently to
+        // hardware_concurrency, hiding typos like DVBS2_THREADS=8x.
+        const std::string text(env);
+        if (!text.empty()) {
+            const long long v = parse_int(text, "DVBS2_THREADS");
+            DVBS2_REQUIRE(v > 0 && v <= 4096,
+                          "DVBS2_THREADS must be in [1, 4096], got \"" + text + "\"");
+            return static_cast<unsigned>(v);
+        }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

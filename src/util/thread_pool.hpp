@@ -52,8 +52,10 @@ private:
 };
 
 /// Simulation worker-thread count: `requested` if nonzero, else the
-/// DVBS2_THREADS environment variable if set to a positive integer, else
-/// std::thread::hardware_concurrency() (at least 1).
-unsigned resolve_thread_count(unsigned requested) noexcept;
+/// DVBS2_THREADS environment variable if set (non-empty), else
+/// std::thread::hardware_concurrency() (at least 1). Throws
+/// std::runtime_error when DVBS2_THREADS is set but is not a valid integer
+/// in [1, 4096] — a typo must not silently change the worker count.
+unsigned resolve_thread_count(unsigned requested);
 
 }  // namespace dvbs2::util

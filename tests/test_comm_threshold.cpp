@@ -2,10 +2,13 @@
 // accounting of the BER harness (the metrics E7/E8 are built on).
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "code/params.hpp"
 #include "code/tanner.hpp"
 #include "comm/ber.hpp"
 #include "comm/modem.hpp"
+#include "comm/parallel.hpp"
 #include "core/decoder.hpp"
 
 namespace dc = dvbs2::code;
@@ -38,30 +41,72 @@ TEST(Threshold, FindsAPointWhereBerDropsBelowTarget) {
     sim.limits.min_frames = 50;
     sim.limits.target_bit_errors = 50;
     sim.limits.target_frame_errors = 10;
-    const double th = dm::find_threshold_db(toy_code(), make_decoder_fn(dec), 1e-3, 2.0, 1.0,
-                                            sim, 12.0);
+    const std::optional<double> th =
+        dm::find_threshold_db(toy_code(), make_decoder_fn(dec), 1e-3, 2.0, 1.0, sim, 12.0);
     // A toy (144,60) code decodes reliably somewhere in 4..10 dB.
-    EXPECT_GT(th, 2.0);
-    EXPECT_LT(th, 12.0);
+    ASSERT_TRUE(th.has_value());
+    EXPECT_GT(*th, 2.0);
+    EXPECT_LT(*th, 12.0);
     // Verify the found point really meets the target.
-    const auto pt = dm::simulate_point(toy_code(), make_decoder_fn(dec), th, sim);
+    const auto pt = dm::simulate_point(toy_code(), make_decoder_fn(dec), *th, sim);
     EXPECT_LT(pt.ber(static_cast<std::uint64_t>(toy_code().k())), 1e-3);
 }
 
-TEST(Threshold, ReturnsMaxWhenUnreachable) {
-    // A decoder that always fails never meets the target.
-    dm::DecodeFn broken = [&](const std::vector<double>&) {
+namespace {
+
+/// A decoder that always fails, so no scan point ever meets a BER target.
+dm::DecodeFn broken_decoder() {
+    return [](const std::vector<double>&) {
         dm::DecodeOutcome out;
         out.info_bits = BitVec(static_cast<std::size_t>(toy_code().k()));
         for (int i = 0; i < toy_code().k(); ++i)
             out.info_bits.set(static_cast<std::size_t>(i), true);  // all wrong half the time
         return out;
     };
+}
+
+}  // namespace
+
+TEST(Threshold, NotFoundIsDistinguishableFromThresholdAtMax) {
+    // Regression: the pre-fix scan returned max_db when the target was never
+    // reached, indistinguishable from a genuine threshold at exactly max_db.
     dm::SimConfig sim;
     sim.limits.max_frames = 3;
     sim.limits.min_frames = 1;
-    const double th = dm::find_threshold_db(toy_code(), broken, 1e-6, 0.0, 2.0, sim, 6.0);
-    EXPECT_DOUBLE_EQ(th, 6.0);
+    const std::optional<double> th =
+        dm::find_threshold_db(toy_code(), broken_decoder(), 1e-6, 0.0, 2.0, sim, 6.0);
+    EXPECT_FALSE(th.has_value());
+}
+
+TEST(Threshold, ParallelNotFoundIsDistinguishable) {
+    dm::SimConfig sim;
+    sim.limits.max_frames = 3;
+    sim.limits.min_frames = 1;
+    sim.threads = 2;
+    const dm::DecodeFactory factory = [](unsigned) { return broken_decoder(); };
+    const std::optional<double> th =
+        dm::find_threshold_db_parallel(toy_code(), factory, 1e-6, 0.0, 2.0, sim, 6.0);
+    EXPECT_FALSE(th.has_value());
+}
+
+TEST(Threshold, ScanPointsDoNotAccumulateDrift) {
+    // Regression: with `snr += step` accumulation, 0.1-dB steps drift by
+    // several ULPs over a long scan, so the point grid (and with it every
+    // per-point RNG stream, which hashes the Eb/N0 bit pattern) silently
+    // depended on the scan's start. Index stepping pins point i to exactly
+    // start + i*step.
+    std::vector<double> seen;
+    dm::SimConfig sim;
+    sim.limits.max_frames = 1;
+    sim.limits.min_frames = 1;
+    sim.progress = [&seen](const dm::SimProgress& p) {
+        if (p.finished) seen.push_back(p.ebn0_db);
+    };
+    const auto th = dm::find_threshold_db(toy_code(), broken_decoder(), 1e-9, 0.0, 0.1, sim, 2.0);
+    EXPECT_FALSE(th.has_value());
+    ASSERT_EQ(seen.size(), 21u);  // 0.0, 0.1, ..., 2.0 inclusive
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_DOUBLE_EQ(seen[i], 0.0 + static_cast<double>(i) * 0.1) << "point " << i;
 }
 
 TEST(Threshold, RejectsNonPositiveStep) {

@@ -3,7 +3,10 @@
 // regression behaviour on the full-size code.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "code/params.hpp"
 #include "code/tanner.hpp"
@@ -285,3 +288,85 @@ TEST(FixedDecoder, FullSizeRateHalfSixBitDecodesAtTwoDb) {
     EXPECT_TRUE(res.converged);
     EXPECT_EQ(res.info_bits, info);
 }
+
+// ------------------------------------------- observer does not change results
+
+// Audit note (tracing-invariance): installing an observer switches
+// decode_values onto the branch that computes the syndrome weight and mean
+// |posterior| every iteration even when early_stop is false. Those
+// computations are read-only over the posterior/message state, and the
+// final `converged` flag is derived from the same syndrome evaluation in
+// both branches, so tracing must be a pure side channel. These tests pin
+// that contract bit-for-bit across every schedule.
+
+class ObserverInvarianceTest
+    : public ::testing::TestWithParam<std::tuple<dd::Schedule, bool>> {};
+
+TEST_P(ObserverInvarianceTest, FloatResultIsBitIdenticalWithAndWithoutObserver) {
+    const auto [schedule, early_stop] = GetParam();
+    dd::DecoderConfig cfg;
+    cfg.schedule = schedule;
+    cfg.early_stop = early_stop;
+    cfg.max_iterations = 15;
+    // 2.5 dB on the toy code: noisy enough that several iterations run,
+    // clean enough that some frames converge (exercising both outcomes).
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const auto [info, llr] = make_instance(toy_code(), 2.5, seed);
+        dd::Decoder plain(toy_code(), cfg);
+        const auto base = plain.decode(llr);
+
+        dd::Decoder traced(toy_code(), cfg);
+        std::vector<dd::IterationTrace> traces;
+        traced.set_observer([&traces](const dd::IterationTrace& t) { traces.push_back(t); });
+        const auto obs = traced.decode(llr);
+
+        EXPECT_EQ(base.codeword, obs.codeword) << "seed " << seed;
+        EXPECT_EQ(base.info_bits, obs.info_bits) << "seed " << seed;
+        EXPECT_EQ(base.converged, obs.converged) << "seed " << seed;
+        EXPECT_EQ(base.iterations, obs.iterations) << "seed " << seed;
+        EXPECT_EQ(static_cast<int>(traces.size()), obs.iterations) << "seed " << seed;
+        // Detaching the observer restores the untraced fast path.
+        traced.set_observer({});
+        const auto detached = traced.decode(llr);
+        EXPECT_EQ(detached.codeword, base.codeword) << "seed " << seed;
+        EXPECT_EQ(detached.iterations, base.iterations) << "seed " << seed;
+    }
+}
+
+TEST_P(ObserverInvarianceTest, FixedResultIsBitIdenticalWithAndWithoutObserver) {
+    const auto [schedule, early_stop] = GetParam();
+    dd::DecoderConfig cfg;
+    cfg.schedule = schedule;
+    cfg.early_stop = early_stop;
+    cfg.max_iterations = 15;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const auto [info, llr] = make_instance(toy_code(), 2.5, seed);
+        dd::FixedDecoder plain(toy_code(), cfg, dq::kQuant6);
+        const auto base = plain.decode(llr);
+
+        dd::FixedDecoder traced(toy_code(), cfg, dq::kQuant6);
+        std::vector<dd::IterationTrace> traces;
+        traced.set_observer([&traces](const dd::IterationTrace& t) { traces.push_back(t); });
+        const auto obs = traced.decode(llr);
+
+        EXPECT_EQ(base.codeword, obs.codeword) << "seed " << seed;
+        EXPECT_EQ(base.info_bits, obs.info_bits) << "seed " << seed;
+        EXPECT_EQ(base.converged, obs.converged) << "seed " << seed;
+        EXPECT_EQ(base.iterations, obs.iterations) << "seed " << seed;
+        EXPECT_EQ(static_cast<int>(traces.size()), obs.iterations) << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesAndStop, ObserverInvarianceTest,
+    ::testing::Combine(::testing::Values(dd::Schedule::TwoPhase, dd::Schedule::ZigzagForward,
+                                         dd::Schedule::ZigzagSegmented, dd::Schedule::ZigzagMap,
+                                         dd::Schedule::Layered),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<dd::Schedule, bool>>& info) {
+        // to_string yields names like "two-phase"; keep alphanumerics only.
+        std::string name;
+        for (const char c : std::string(dd::to_string(std::get<0>(info.param))))
+            if (std::isalnum(static_cast<unsigned char>(c))) name += c;
+        return name + (std::get<1>(info.param) ? "_EarlyStop" : "_FixedIters");
+    });

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -257,7 +258,7 @@ TEST(ParallelBer, ThresholdParallelMatchesSerial) {
     dd::DecoderConfig dcfg;
     dcfg.max_iterations = 20;
     dd::Decoder dec(toy_code(), dcfg);
-    const double serial = dm::find_threshold_db(
+    const std::optional<double> serial = dm::find_threshold_db(
         toy_code(),
         [&dec](const std::vector<double>& llr) {
             const auto r = dec.decode(llr);
@@ -266,9 +267,11 @@ TEST(ParallelBer, ThresholdParallelMatchesSerial) {
         1e-3, 2.0, 1.0, cfg, 12.0);
 
     cfg.threads = 4;
-    const double par =
+    const std::optional<double> par =
         dm::find_threshold_db_parallel(toy_code(), bp_factory(), 1e-3, 2.0, 1.0, cfg, 12.0);
-    EXPECT_DOUBLE_EQ(serial, par);
+    ASSERT_TRUE(serial.has_value());
+    ASSERT_TRUE(par.has_value());
+    EXPECT_DOUBLE_EQ(*serial, *par);
 }
 
 TEST(ParallelBer, FactoryExceptionPropagates) {

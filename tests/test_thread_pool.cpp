@@ -11,6 +11,7 @@
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/prng.hpp"
@@ -98,10 +99,29 @@ TEST(ResolveThreadCount, EnvOverrideAppliesWhenAuto) {
     ASSERT_EQ(setenv("DVBS2_THREADS", "3", 1), 0);
     EXPECT_EQ(dvbs2::util::resolve_thread_count(0), 3u);
     EXPECT_EQ(dvbs2::util::resolve_thread_count(2), 2u);  // explicit still wins
-    ASSERT_EQ(setenv("DVBS2_THREADS", "junk", 1), 0);
-    EXPECT_GE(dvbs2::util::resolve_thread_count(0), 1u);  // malformed → hardware
+    ASSERT_EQ(setenv("DVBS2_THREADS", "", 1), 0);  // empty counts as unset
+    EXPECT_GE(dvbs2::util::resolve_thread_count(0), 1u);
     unsetenv("DVBS2_THREADS");
     EXPECT_GE(dvbs2::util::resolve_thread_count(0), 1u);
+}
+
+TEST(ResolveThreadCount, MalformedEnvThrowsInsteadOfSilentFallback) {
+    // Regression: DVBS2_THREADS=8x used to fall back silently to
+    // hardware_concurrency — a typo changed the worker count without any
+    // diagnostic. Now every malformed value is a hard error naming the
+    // variable.
+    for (const char* bad : {"8x", "junk", "-2", "0", "5000", "1e3"}) {
+        ASSERT_EQ(setenv("DVBS2_THREADS", bad, 1), 0);
+        try {
+            (void)dvbs2::util::resolve_thread_count(0);
+            FAIL() << "expected std::runtime_error for DVBS2_THREADS=" << bad;
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("DVBS2_THREADS"), std::string::npos) << e.what();
+        }
+        // An explicit request bypasses the environment entirely.
+        EXPECT_EQ(dvbs2::util::resolve_thread_count(7), 7u);
+    }
+    unsetenv("DVBS2_THREADS");
 }
 
 // ------------------------------------------------- stream derivation (prng)

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "util/bitvec.hpp"
 #include "util/cli.hpp"
@@ -151,6 +153,35 @@ TEST(Cli, ParsesValuesAndFlags) {
 TEST(Cli, RejectsUnknownOption) {
     const char* argv[] = {"prog", "--bogus=1"};
     EXPECT_THROW(du::CliArgs(2, argv, {"rate"}), std::runtime_error);
+}
+
+TEST(Cli, MalformedNumericValueThrowsNamingTheFlag) {
+    // Regression: get_int used bare std::stoll, so "--threads=8x" silently
+    // parsed as 8 and "--threads=x" escaped as an uncaught
+    // std::invalid_argument (terminate), with no hint of which flag.
+    const char* argv[] = {"prog", "--threads=8x", "--step=1.5dB", "--frames="};
+    du::CliArgs args(4, argv, {"threads", "step", "frames"});
+    try {
+        (void)args.get_int("threads", 0);
+        FAIL() << "expected std::runtime_error for --threads=8x";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("--threads"), std::string::npos) << e.what();
+    }
+    try {
+        (void)args.get_double("step", 0.0);
+        FAIL() << "expected std::runtime_error for --step=1.5dB";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("--step"), std::string::npos) << e.what();
+    }
+    EXPECT_THROW((void)args.get_int("frames", 0), std::runtime_error);  // empty value
+}
+
+TEST(Cli, StrictParsersAcceptWellFormedInput) {
+    EXPECT_EQ(du::parse_int("-42", "t"), -42);
+    EXPECT_DOUBLE_EQ(du::parse_double("1.5e-3", "t"), 1.5e-3);
+    EXPECT_THROW(du::parse_int("99999999999999999999", "t"), std::runtime_error);  // out of range
+    EXPECT_THROW(du::parse_double("", "t"), std::runtime_error);
+    EXPECT_THROW(du::parse_int("0x10", "t"), std::runtime_error);  // base-10 only
 }
 
 TEST(MathKernels, BoxplusExactMatchesTanhDefinition) {
