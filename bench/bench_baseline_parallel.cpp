@@ -55,6 +55,27 @@ McRun run_mc(const code::Dvbs2Code& c, const core::DecoderConfig& dcfg, const co
     return run;
 }
 
+/// Same point through the engine-spec entry path (per-worker engines from
+/// the registry, batch-sized decode calls); tallies must match run_mc's.
+McRun run_mc_engine(const code::Dvbs2Code& c, const core::DecoderConfig& dcfg,
+                    const comm::SimConfig& sim, unsigned threads, double ebn0_db) {
+    comm::SimConfig cfg = sim;
+    cfg.threads = threads;
+    const core::EngineSpec spec{core::Arithmetic::Float, dcfg, quant::kQuant6};
+    McRun run;
+    const auto t0 = std::chrono::steady_clock::now();
+    run.pt = comm::simulate_point_engine(c, spec, ebn0_db, cfg);
+    run.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return run;
+}
+
+bool same_tallies(const comm::BerPoint& a, const comm::BerPoint& b) {
+    return a.frames == b.frames && a.bit_errors == b.bit_errors &&
+           a.frame_errors == b.frame_errors &&
+           a.undetected_frame_errors == b.undetected_frame_errors &&
+           a.avg_iterations == b.avg_iterations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,11 +148,7 @@ int main(int argc, char** argv) {
     bool identical = true;
     for (unsigned th : sweep) {
         const McRun r = th == 1 ? serial : run_mc(short_code, dcfg, sim, th, ebn0);
-        const bool same = r.pt.frames == serial.pt.frames &&
-                          r.pt.bit_errors == serial.pt.bit_errors &&
-                          r.pt.frame_errors == serial.pt.frame_errors &&
-                          r.pt.undetected_frame_errors == serial.pt.undetected_frame_errors &&
-                          r.pt.avg_iterations == serial.pt.avg_iterations;
+        const bool same = same_tallies(r.pt, serial.pt);
         identical = identical && same;
         mc.add_row({util::TextTable::num(static_cast<long long>(th)),
                     util::TextTable::num(r.wall_s, 2),
@@ -139,9 +156,19 @@ int main(int argc, char** argv) {
                     util::TextTable::num(serial.wall_s / r.wall_s, 2),
                     same ? "identical" : "MISMATCH"});
     }
+    // Engine-spec path (per-worker registry engines, batched decode calls)
+    // must reproduce the DecodeFn path's tallies exactly.
+    const McRun eng = run_mc_engine(short_code, dcfg, sim, mc_threads, ebn0);
+    const bool engine_same = same_tallies(eng.pt, serial.pt);
+    identical = identical && engine_same;
+    mc.add_row({"engine x" + std::to_string(mc_threads), util::TextTable::num(eng.wall_s, 2),
+                util::TextTable::num(static_cast<double>(eng.pt.frames) / eng.wall_s, 1),
+                util::TextTable::num(serial.wall_s / eng.wall_s, 2),
+                engine_same ? "identical" : "MISMATCH"});
     mc.print(std::cout);
     std::cout << "(counts are bit-identical by construction: per-frame counter-based RNG\n"
-              << "streams + batch-prefix early stop; speedup tracks physical cores)\n";
+              << "streams + batch-prefix early stop; the engine row decodes through\n"
+              << "Engine::decode_batch and must reproduce the DecodeFn tallies exactly)\n";
     pass = pass && identical;
 
     std::cout << (pass ? "Baseline PASS: partly parallel is mandatory at N = 64800; "

@@ -1,14 +1,22 @@
-// SIMD decoder bench — single-thread throughput of the group-parallel SIMD
-// fixed-point backend vs the scalar MpDecoder<FixedArith> reference, per
-// schedule, on the full-size code. Every timed channel vector is also used
-// for a message-level bit-exactness check (c2v / v2c / backward after the
-// timed iteration count); any divergence makes the bench exit nonzero, so
-// the CI perf-smoke job doubles as an end-to-end equivalence gate.
+// SIMD decoder bench — single-thread throughput of the two SIMD fixed-point
+// lane mappings vs the scalar MpDecoder<FixedArith> reference, per schedule,
+// on the full-size code:
+//
+//   * group-parallel (lane = functional unit): single-frame decoding,
+//     TwoPhase and ZigzagSegmented schedules only;
+//   * frame-per-lane (lane = frame): batched decoding of W frames in
+//     lockstep, every schedule.
+//
+// Every timed channel vector is also used for a message-level bit-exactness
+// check (c2v / v2c / backward state for the group engine, per-lane c2v
+// extraction for the batch engine); any divergence makes the bench exit
+// nonzero, so the CI perf-smoke job doubles as an end-to-end equivalence
+// gate.
 //
 // Flags:
 //   --rate=1/2        code rate under test (default 1/2)
 //   --iters=10        message-passing iterations per frame
-//   --frames=8        timed frames per engine (after 1 warmup frame)
+//   --frames=8        timed frames per engine (after 1 warmup run)
 //   --json=PATH       write machine-readable results (BENCH_decoder.json)
 #include <cstdint>
 #include <fstream>
@@ -21,6 +29,7 @@
 #include "core/arith.hpp"
 #include "core/decoder.hpp"
 #include "core/mp_decoder.hpp"
+#include "core/simd/batch_decoder.hpp"
 #include "core/simd/simd_decoder.hpp"
 #include "quant/fixed.hpp"
 
@@ -49,9 +58,12 @@ std::vector<quant::QLLR> random_channel(const code::Dvbs2Code& code, std::uint64
 
 struct Row {
     std::string schedule;
+    bool has_group = false;   // group-parallel engine supports this schedule
     double scalar_mbps = 0.0;
-    double simd_mbps = 0.0;
-    double speedup = 0.0;
+    double simd_mbps = 0.0;   // group-parallel, single frame
+    double batch_mbps = 0.0;  // frame-per-lane, W frames per block
+    double speedup = 0.0;       // group vs scalar
+    double batch_speedup = 0.0; // batch vs scalar
     bool bit_exact = false;
 };
 
@@ -67,9 +79,44 @@ double time_engine(Engine& eng, const std::vector<std::vector<quant::QLLR>>& cha
                    : 0.0;
 }
 
+/// Times the frame-per-lane engine over ceil(frames / lanes) batch blocks of
+/// the frame-major concatenated channel buffer; returns coded Mbit/s over
+/// all frames (partial last blocks decode at reduced lane occupancy, which
+/// is exactly what a real batched workload pays).
+double time_batch_engine(core::SimdBatchFixedDecoder& eng, const std::vector<quant::QLLR>& flat,
+                         std::size_t frames, std::size_t n, int iters, int n_bits) {
+    const auto lanes = static_cast<std::size_t>(core::SimdBatchFixedDecoder::lanes());
+    const std::size_t first = std::min(lanes, frames);
+    eng.run_iterations(std::span<const quant::QLLR>(flat.data(), first * n), first, iters);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t f0 = 0; f0 < frames; f0 += lanes) {
+        const std::size_t cnt = std::min(lanes, frames - f0);
+        eng.run_iterations(std::span<const quant::QLLR>(flat.data() + f0 * n, cnt * n), cnt,
+                           iters);
+    }
+    const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return s > 0.0 ? static_cast<double>(n_bits) * static_cast<double>(frames) / s / 1e6 : 0.0;
+}
+
 bool messages_equal(const core::MpDecoder<core::FixedArith>& a, const core::SimdFixedDecoder& b) {
     return a.c2v_messages() == b.c2v_messages() && a.v2c_messages() == b.v2c_messages() &&
            a.backward_messages() == b.backward_messages();
+}
+
+/// Frame-per-lane equivalence: run one full batch block, then check every
+/// lane's c2v state against a scalar decode of that lane's frame.
+bool batch_lanes_exact(core::MpDecoder<core::FixedArith>& scalar,
+                       core::SimdBatchFixedDecoder& batch, const std::vector<quant::QLLR>& flat,
+                       const std::vector<std::vector<quant::QLLR>>& channels, std::size_t n,
+                       int iters) {
+    const auto lanes = static_cast<std::size_t>(core::SimdBatchFixedDecoder::lanes());
+    const std::size_t cnt = std::min(lanes, channels.size());
+    batch.run_iterations(std::span<const quant::QLLR>(flat.data(), cnt * n), cnt, iters);
+    for (std::size_t l = 0; l < cnt; ++l) {
+        scalar.run_iterations(channels[l], iters);
+        if (batch.c2v_messages(l) != scalar.c2v_messages()) return false;
+    }
+    return true;
 }
 
 }  // namespace
@@ -80,52 +127,75 @@ int main(int argc, char** argv) {
     const int iters = static_cast<int>(args.get_int("iters", 10));
     const int frames = static_cast<int>(args.get_int("frames", 8));
 
-    bench::banner("SIMD", "group-parallel SIMD backend vs scalar reference (1 thread)");
+    bench::banner("SIMD", "SIMD lane mappings vs scalar reference (1 thread)");
     std::cout << "backend=" << core::simd_backend_name() << " width=" << core::simd_backend_width()
               << " rate=" << code::to_string(rate) << " iters=" << iters << " frames=" << frames
               << "\n\n";
 
     const code::Dvbs2Code code(code::standard_params(rate));
+    const auto n = static_cast<std::size_t>(code.n());
     std::vector<std::vector<quant::QLLR>> channels;
-    for (int f = 0; f < frames; ++f)
+    std::vector<quant::QLLR> flat;  // frame-major concatenation for batches
+    for (int f = 0; f < frames; ++f) {
         channels.push_back(random_channel(code, 0xBE11C + static_cast<std::uint64_t>(f)));
+        flat.insert(flat.end(), channels.back().begin(), channels.back().end());
+    }
 
     const quant::BoxplusTable table(quant::kQuant6);
     std::vector<Row> rows;
     bool all_exact = true;
     double max_speedup = 0.0;
+    double max_batch_speedup = 0.0;
     util::TextTable t;
-    t.set_header({"Schedule", "scalar Mbit/s", "SIMD Mbit/s", "speedup", "bit-exact"});
+    t.set_header({"Schedule", "scalar Mbit/s", "group Mbit/s", "batch Mbit/s", "group x",
+                  "batch x", "bit-exact"});
     for (const core::Schedule schedule :
-         {core::Schedule::TwoPhase, core::Schedule::ZigzagSegmented}) {
+         {core::Schedule::TwoPhase, core::Schedule::ZigzagForward,
+          core::Schedule::ZigzagSegmented, core::Schedule::ZigzagMap, core::Schedule::Layered}) {
         core::DecoderConfig cfg;
         cfg.schedule = schedule;
         cfg.rule = core::CheckRule::Exact;
         core::MpDecoder<core::FixedArith> scalar(
             code, cfg, core::FixedArith(cfg.rule, quant::kQuant6, &table, cfg.normalization,
                                         cfg.offset));
-        core::SimdFixedDecoder simd(code, cfg, quant::kQuant6);
 
         Row row;
         row.schedule = core::to_string(schedule);
+        row.has_group = schedule == core::Schedule::TwoPhase ||
+                        schedule == core::Schedule::ZigzagSegmented;
         row.scalar_mbps = time_engine(scalar, channels, iters, code.n());
-        row.simd_mbps = time_engine(simd, channels, iters, code.n());
-        row.speedup = row.scalar_mbps > 0.0 ? row.simd_mbps / row.scalar_mbps : 0.0;
 
-        // Both engines last decoded channels.back(); compare final state,
-        // then re-check on the first vector for good measure.
-        row.bit_exact = messages_equal(scalar, simd);
-        if (row.bit_exact) {
-            scalar.run_iterations(channels[0], iters);
-            simd.run_iterations(channels[0], iters);
+        row.bit_exact = true;
+        if (row.has_group) {
+            core::SimdFixedDecoder simd(code, cfg, quant::kQuant6);
+            row.simd_mbps = time_engine(simd, channels, iters, code.n());
+            row.speedup = row.scalar_mbps > 0.0 ? row.simd_mbps / row.scalar_mbps : 0.0;
+            // Both engines last decoded channels.back(); compare final
+            // state, then re-check on the first vector for good measure.
             row.bit_exact = messages_equal(scalar, simd);
+            if (row.bit_exact) {
+                scalar.run_iterations(channels[0], iters);
+                simd.run_iterations(channels[0], iters);
+                row.bit_exact = messages_equal(scalar, simd);
+            }
         }
+
+        core::SimdBatchFixedDecoder batch(code, cfg, quant::kQuant6);
+        row.batch_mbps = time_batch_engine(batch, flat, static_cast<std::size_t>(frames), n,
+                                           iters, code.n());
+        row.batch_speedup = row.scalar_mbps > 0.0 ? row.batch_mbps / row.scalar_mbps : 0.0;
+        row.bit_exact =
+            row.bit_exact && batch_lanes_exact(scalar, batch, flat, channels, n, iters);
+
         all_exact = all_exact && row.bit_exact;
         max_speedup = std::max(max_speedup, row.speedup);
+        max_batch_speedup = std::max(max_batch_speedup, row.batch_speedup);
         rows.push_back(row);
         t.add_row({row.schedule, util::TextTable::num(row.scalar_mbps, 1),
-                   util::TextTable::num(row.simd_mbps, 1), util::TextTable::num(row.speedup, 2),
-                   row.bit_exact ? "yes" : "NO"});
+                   row.has_group ? util::TextTable::num(row.simd_mbps, 1) : "-",
+                   util::TextTable::num(row.batch_mbps, 1),
+                   row.has_group ? util::TextTable::num(row.speedup, 2) : "-",
+                   util::TextTable::num(row.batch_speedup, 2), row.bit_exact ? "yes" : "NO"});
     }
     t.print(std::cout);
 
@@ -134,22 +204,26 @@ int main(int argc, char** argv) {
         os << "{\n  \"bench\": \"bench_simd_kernels\",\n"
            << "  \"backend\": \"" << core::simd_backend_name() << "\",\n"
            << "  \"width\": " << core::simd_backend_width() << ",\n"
+           << "  \"lanes\": " << core::SimdBatchFixedDecoder::lanes() << ",\n"
            << "  \"rate\": \"" << code::to_string(rate) << "\",\n"
            << "  \"iters\": " << iters << ",\n  \"frames\": " << frames << ",\n"
            << "  \"results\": [\n";
         for (std::size_t i = 0; i < rows.size(); ++i) {
             const Row& r = rows[i];
             os << "    {\"schedule\": \"" << r.schedule << "\", \"scalar_mbps\": " << r.scalar_mbps
-               << ", \"simd_mbps\": " << r.simd_mbps << ", \"speedup\": " << r.speedup
+               << ", \"simd_mbps\": " << r.simd_mbps << ", \"batch_mbps\": " << r.batch_mbps
+               << ", \"speedup\": " << r.speedup << ", \"batch_speedup\": " << r.batch_speedup
                << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false") << "}"
                << (i + 1 < rows.size() ? "," : "") << "\n";
         }
         os << "  ],\n  \"max_speedup\": " << max_speedup << ",\n"
+           << "  \"max_batch_speedup\": " << max_batch_speedup << ",\n"
            << "  \"all_bit_exact\": " << (all_exact ? "true" : "false") << "\n}\n";
         std::cout << "\nwrote " << args.get("json", "") << "\n";
     }
 
-    std::cout << (all_exact ? "SIMD PASS: all schedules bit-exact with the scalar reference\n"
-                            : "SIMD FAIL: message divergence from the scalar reference\n");
+    std::cout << (all_exact
+                      ? "SIMD PASS: all lane mappings bit-exact with the scalar reference\n"
+                      : "SIMD FAIL: message divergence from the scalar reference\n");
     return all_exact ? 0 : 1;
 }

@@ -4,16 +4,21 @@
 //
 //   ./ber_sweep [--rate=1/2] [--from=0.6] [--to=1.6] [--step=0.2]
 //               [--frames=50] [--iters=30] [--fixed] [--bits=6]
-//               [--schedule=zigzag|twophase|segmented|map]
-//               [--backend=scalar|simd] [--csv=out.csv]
-//               [--threads=N] [--progress]
+//               [--schedule=zigzag|twophase|segmented|map|layered]
+//               [--backend=scalar|simd] [--lanes=auto|group|frame]
+//               [--csv=out.csv] [--threads=N] [--progress]
 //
-// --backend=simd selects the group-parallel SIMD fixed-point engine
-// (requires --fixed and a twophase or segmented schedule); results are
-// bit-identical to the scalar backend (pinned by tests/test_simd.cpp).
+// --backend=simd selects the SIMD fixed-point engine (requires --fixed).
+// --lanes picks its lane mapping: "group" is the group-parallel engine
+// (lane = functional unit; twophase/segmented only), "frame" the
+// frame-per-lane batch engine (any schedule, one SIMD lane per frame),
+// "auto" (default) uses group-parallel for single frames and frame-per-lane
+// for batches. Results are bit-identical to the scalar backend either way
+// (pinned by tests/test_simd.cpp and tests/test_engine.cpp).
 //
-// Runs on the frame-parallel Monte-Carlo engine: results are bit-identical
-// for every --threads value (see comm/parallel.hpp).
+// Runs on the frame-parallel Monte-Carlo engine with one decoder engine per
+// worker, decoding in engine-preferred batch blocks: results are
+// bit-identical for every --threads value (see comm/parallel.hpp).
 #include <iostream>
 #include <memory>
 
@@ -42,6 +47,7 @@ core::Schedule parse_schedule(const std::string& s) {
     if (s == "twophase") return core::Schedule::TwoPhase;
     if (s == "segmented") return core::Schedule::ZigzagSegmented;
     if (s == "map") return core::Schedule::ZigzagMap;
+    if (s == "layered") return core::Schedule::Layered;
     throw std::runtime_error("unknown schedule " + s);
 }
 
@@ -51,42 +57,43 @@ core::DecoderBackend parse_backend(const std::string& s) {
     throw std::runtime_error("unknown backend " + s + " (scalar or simd)");
 }
 
+core::SimdLaneMode parse_lanes(const std::string& s) {
+    if (s == "auto") return core::SimdLaneMode::Auto;
+    if (s == "group") return core::SimdLaneMode::GroupParallel;
+    if (s == "frame") return core::SimdLaneMode::FramePerLane;
+    throw std::runtime_error("unknown lane mode " + s + " (auto, group, or frame)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
     const util::CliArgs args(argc, argv,
                              {"rate", "from", "to", "step", "frames", "iters", "fixed", "bits",
-                              "schedule", "backend", "csv", "threads", "progress"});
+                              "schedule", "backend", "lanes", "csv", "threads", "progress"});
     const auto rate = parse_rate(args.get("rate", "1/2"));
     const code::Dvbs2Code ldpc(code::standard_params(rate));
 
     core::DecoderConfig cfg;
     cfg.schedule = parse_schedule(args.get("schedule", "zigzag"));
     cfg.backend = parse_backend(args.get("backend", "scalar"));
+    cfg.lane_mode = parse_lanes(args.get("lanes", "auto"));
     cfg.max_iterations = static_cast<int>(args.get_int("iters", 30));
 
     const bool fixed = args.has("fixed");
     if (cfg.backend == core::DecoderBackend::Simd && !fixed)
         throw std::runtime_error("--backend=simd models the fixed-point datapath; add --fixed");
     const int bits = static_cast<int>(args.get_int("bits", 6));
-    const quant::QuantSpec spec = bits == 5 ? quant::kQuant5 : quant::kQuant6;
 
-    // One decoder per worker — decoders own message memories and the
-    // parallel engine never shares them across threads.
-    comm::DecodeFactory factory = [&](unsigned) -> comm::DecodeFn {
-        if (fixed) {
-            auto dec = std::make_shared<core::FixedDecoder>(ldpc, cfg, spec);
-            return [dec](const std::vector<double>& llr) {
-                const auto r = dec->decode(llr);
-                return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
-            };
-        }
-        auto dec = std::make_shared<core::Decoder>(ldpc, cfg);
-        return [dec](const std::vector<double>& llr) {
-            const auto r = dec->decode(llr);
-            return comm::DecodeOutcome{r.info_bits, r.converged, r.iterations};
-        };
-    };
+    // One engine per worker — engines own message memories and decode
+    // workspaces, and the parallel engine never shares them across threads.
+    // make_engine runs the central config validation up front, so an illegal
+    // combination (e.g. --backend=simd --lanes=group --schedule=zigzag)
+    // fails here with a diagnostic naming the offending option.
+    core::EngineSpec spec;
+    spec.arith = fixed ? core::Arithmetic::Fixed : core::Arithmetic::Float;
+    spec.config = cfg;
+    spec.quant = bits == 5 ? quant::kQuant5 : quant::kQuant6;
+    core::validate_engine_spec(spec);
 
     comm::SimConfig sim;
     sim.limits.max_frames = static_cast<std::uint64_t>(args.get_int("frames", 50));
@@ -116,7 +123,10 @@ int main(int argc, char** argv) try {
     std::cout << ldpc.params().name << ", " << (fixed ? "fixed " + std::to_string(bits) + "-bit"
                                                       : std::string("float"))
               << ", " << core::to_string(cfg.schedule) << ", " << core::to_string(cfg.backend)
-              << " backend, " << cfg.max_iterations << " iterations\n";
+              << " backend";
+    if (cfg.backend == core::DecoderBackend::Simd)
+        std::cout << " (lanes=" << core::to_string(cfg.lane_mode) << ")";
+    std::cout << ", " << cfg.max_iterations << " iterations\n";
     std::cout << "Shannon limit (BPSK-constrained): "
               << comm::shannon_limit_bpsk_db(ldpc.params().rate()) << " dB\n\n";
 
@@ -131,7 +141,7 @@ int main(int argc, char** argv) try {
     table.set_header({"Eb/N0 [dB]", "frames", "BER", "FER", "avg iters"});
     util::ThreadPool pool(sim.threads);
     for (double snr : snrs) {
-        const auto pt = comm::simulate_point_parallel(ldpc, factory, snr, sim, &pool);
+        const auto pt = comm::simulate_point_engine(ldpc, spec, snr, sim, &pool);
         std::ostringstream ber;
         ber.precision(3);
         ber << std::scientific << pt.ber(static_cast<std::uint64_t>(ldpc.k()));

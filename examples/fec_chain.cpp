@@ -10,7 +10,7 @@
 #include "code/params.hpp"
 #include "code/tanner.hpp"
 #include "comm/modem.hpp"
-#include "core/decoder.hpp"
+#include "core/engine.hpp"
 #include "enc/encoder.hpp"
 #include "util/cli.hpp"
 
@@ -41,7 +41,8 @@ int main(int argc, char** argv) try {
     const enc::Encoder ldpc_enc(inner);
     core::DecoderConfig cfg;
     cfg.max_iterations = 30;
-    core::FixedDecoder ldpc_dec(inner, cfg, quant::kQuant6);
+    const auto ldpc_dec =
+        core::make_engine(inner, {core::Arithmetic::Fixed, cfg, quant::kQuant6});
 
     std::cout << "DVB-S2 FEC frame, rate " << code::to_string(rate) << ":\n"
               << "  BCH(" << outer.n() << ", " << outer.k() << ", t=" << outer.t()
@@ -50,6 +51,7 @@ int main(int argc, char** argv) try {
 
     const double sigma = comm::noise_sigma(ebn0, inner.params().rate(), comm::Modulation::Bpsk);
     int clean_frames = 0;
+    core::DecodeResult ldpc_out;  // reused by decode_into across frames
     for (int f = 0; f < frames; ++f) {
         const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(f);
         // TX: payload -> BCH -> LDPC -> BPSK/AWGN.
@@ -59,8 +61,8 @@ int main(int argc, char** argv) try {
         comm::AwgnModem modem(comm::Modulation::Bpsk, seed * 13 + 1);
         const auto llr = modem.transmit(ldpc_cw, sigma);
 
-        // RX: LDPC decode -> BCH decode.
-        const auto ldpc_out = ldpc_dec.decode(llr);
+        // RX: LDPC decode (engine + result storage reused) -> BCH decode.
+        ldpc_dec->decode_into(llr, ldpc_out);
         const std::size_t ldpc_errs = util::BitVec::hamming_distance(ldpc_out.info_bits, bch_cw);
         const auto bch_out = outer.decode(ldpc_out.info_bits);
         util::BitVec recovered(static_cast<std::size_t>(outer.k()));

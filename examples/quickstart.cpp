@@ -8,7 +8,7 @@
 #include "code/params.hpp"
 #include "code/tanner.hpp"
 #include "comm/modem.hpp"
-#include "core/decoder.hpp"
+#include "core/engine.hpp"
 #include "enc/encoder.hpp"
 #include "util/cli.hpp"
 
@@ -46,21 +46,21 @@ int main(int argc, char** argv) try {
     const auto llr = modem.transmit(cw, sigma);
     std::cout << "channel: BPSK/AWGN, Eb/N0 = " << ebn0 << " dB (sigma = " << sigma << ")\n";
 
-    // 4. Decode: paper operating point (optimized zigzag update, 30 iters).
-    core::DecoderConfig cfg;
-    cfg.schedule = core::Schedule::ZigzagForward;
-    cfg.max_iterations = 30;
+    // 4. Decode: paper operating point (optimized zigzag update, 30 iters),
+    //    via the unified engine layer. make_engine validates the config and
+    //    builds the registered engine for (arithmetic, backend); decode_into
+    //    reuses the result storage, so repeated decodes allocate nothing.
+    core::EngineSpec spec;
+    spec.arith = args.has("fixed") ? core::Arithmetic::Fixed : core::Arithmetic::Float;
+    spec.config.schedule = core::Schedule::ZigzagForward;
+    spec.config.max_iterations = 30;
+    spec.quant = quant::kQuant6;  // 6-bit hardware datapath (fixed only)
+    const std::unique_ptr<core::Engine> dec = core::make_engine(ldpc, spec);
 
     core::DecodeResult res;
-    if (args.has("fixed")) {
-        core::FixedDecoder dec(ldpc, cfg, quant::kQuant6);  // 6-bit hardware datapath
-        res = dec.decode(llr);
-        std::cout << "decoder: fixed-point 6-bit, " << core::to_string(cfg.schedule) << "\n";
-    } else {
-        core::Decoder dec(ldpc, cfg);
-        res = dec.decode(llr);
-        std::cout << "decoder: floating-point, " << core::to_string(cfg.schedule) << "\n";
-    }
+    dec->decode_into(llr, res);
+    std::cout << "decoder: " << dec->backend_name() << ", "
+              << core::to_string(spec.config.schedule) << "\n";
 
     const std::size_t errors = util::BitVec::hamming_distance(res.info_bits, info);
     std::cout << "result: " << (res.converged ? "converged" : "NOT converged") << " after "

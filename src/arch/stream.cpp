@@ -10,6 +10,7 @@ StreamReport simulate_stream(const HardwareMapping& mapping, const StreamConfig&
                              int num_frames) {
     DVBS2_REQUIRE(num_frames >= 1, "need at least one frame");
     DVBS2_REQUIRE(cfg.io_parallelism > 0 && cfg.iterations >= 1, "bad stream config");
+    DVBS2_REQUIRE(cfg.clock_hz > 0.0, "clock_hz must be positive");
 
     const auto& cp = mapping.code().params();
     const long long io_cycles = (cp.n + cfg.io_parallelism - 1) / cfg.io_parallelism;
@@ -45,13 +46,17 @@ StreamReport simulate_stream(const HardwareMapping& mapping, const StreamConfig&
     rep.total_cycles = rep.frames.back().output_done;
     rep.first_frame_latency_s =
         static_cast<double>(rep.frames.front().latency()) / cfg.clock_hz;
-    if (num_frames >= 2) {
-        const long long span = rep.frames.back().decode_done - rep.frames.front().decode_done;
+    const long long span =
+        num_frames >= 2 ? rep.frames.back().decode_done - rep.frames.front().decode_done : 0;
+    if (span > 0) {
         rep.steady_info_bps = static_cast<double>(cp.k) * (num_frames - 1) /
                               (static_cast<double>(span) / cfg.clock_hz);
     } else {
-        rep.steady_info_bps =
-            static_cast<double>(cp.k) / (static_cast<double>(rep.total_cycles) / cfg.clock_hz);
+        // One frame, or a degenerate mapping whose decode phase costs zero
+        // cycles (span == 0): no steady state exists, so report the whole-run
+        // rate instead of dividing by zero. total_cycles >= io_cycles >= 1.
+        rep.steady_info_bps = static_cast<double>(cp.k) * num_frames /
+                              (static_cast<double>(rep.total_cycles) / cfg.clock_hz);
     }
     return rep;
 }

@@ -42,7 +42,9 @@ struct FrameTiming {
 struct StreamReport {
     std::vector<FrameTiming> frames;
     long long total_cycles = 0;          ///< first input to last output
-    double steady_info_bps = 0.0;        ///< K·(n−1)/(time between frame 1 and n)
+    double steady_info_bps = 0.0;        ///< K·(n−1)/(time between frame 1 and n); for a
+                                         ///< single frame (or a degenerate zero-span
+                                         ///< mapping) the whole-run rate K·n/total time
     double first_frame_latency_s = 0.0;
     long long core_idle_cycles = 0;      ///< decode engine stalls waiting for input
     long long io_stall_cycles = 0;       ///< input waits for the decode buffer

@@ -110,7 +110,23 @@ util::BitVec Dvbs2Code::syndrome(const util::BitVec& codeword) const {
 }
 
 bool Dvbs2Code::is_codeword(const util::BitVec& codeword) const {
-    return syndrome(codeword).none();
+    // Allocation-free early-exit check: early-stopping decoders evaluate
+    // this every iteration for every frame, so it must not materialize a
+    // syndrome vector (see tests/test_alloc.cpp).
+    DVBS2_REQUIRE(codeword.size() == static_cast<std::size_t>(params_.n),
+                  "codeword length mismatch");
+    const int m = params_.m();
+    const int kc = check_in_degree();
+    for (int c = 0; c < m; ++c) {
+        bool parity = codeword.get(static_cast<std::size_t>(params_.k + c));
+        if (c > 0) parity ^= codeword.get(static_cast<std::size_t>(params_.k + c - 1));
+        const long long base = static_cast<long long>(c) * kc;
+        for (int d = 0; d < kc; ++d)
+            parity ^= codeword.get(
+                static_cast<std::size_t>(edge_variable_[static_cast<std::size_t>(base + d)]));
+        if (parity) return false;
+    }
+    return true;
 }
 
 }  // namespace dvbs2::code

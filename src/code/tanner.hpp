@@ -74,6 +74,8 @@ public:
     util::BitVec syndrome(const util::BitVec& codeword) const;
 
     /// True iff `codeword` (size N) satisfies all parity checks.
+    /// Allocation-free with early exit on the first unsatisfied check — safe
+    /// to call per iteration from a decoder's early-stopping hot loop.
     bool is_codeword(const util::BitVec& codeword) const;
 
 private:

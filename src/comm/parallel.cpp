@@ -1,5 +1,6 @@
 #include "comm/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -40,6 +41,33 @@ bool stop_satisfied(const Tally& t, const SimLimits& lim) {
            t.frame_errors >= lim.target_frame_errors;
 }
 
+/// Folds one decoded frame into the tally; shared by both decode paths so
+/// their counting rules cannot drift apart.
+void tally_frame(Tally& t, const util::BitVec& tx_info, const util::BitVec& rx_info,
+                 int iterations, bool converged, int k) {
+    DVBS2_REQUIRE(rx_info.size() == static_cast<std::size_t>(k),
+                  "decoder returned wrong info length");
+    const std::size_t errs = util::BitVec::hamming_distance(rx_info, tx_info);
+    t.bit_errors += errs;
+    if (errs != 0) {
+        ++t.frame_errors;
+        if (converged) ++t.undetected;
+    }
+    t.iter_sum += static_cast<std::uint64_t>(iterations > 0 ? iterations : 0);
+    ++t.frames;
+}
+
+/// Draws frame f's information bits from its counter-derived stream.
+void draw_info(util::BitVec& info, const SimConfig& cfg, std::uint64_t point_seed,
+               std::uint64_t f, int k) {
+    util::Xoshiro256pp data_rng(frame_data_seed(point_seed, f));
+    info.clear();
+    if (cfg.random_data) {
+        for (int v = 0; v < k; ++v)
+            if (data_rng() & 1u) info.set(static_cast<std::size_t>(v), true);
+    }
+}
+
 /// Simulates frames [lo, hi) of one point. Every frame owns its RNG streams,
 /// so this is a pure function of (point_seed, frame index) — the core of the
 /// thread-count-invariance guarantee.
@@ -48,32 +76,73 @@ Tally run_batch(const code::Dvbs2Code& code, const enc::Encoder& encoder, const 
                 std::uint64_t hi) {
     const auto& cp = code.params();
     Tally t;
+    util::BitVec info(static_cast<std::size_t>(cp.k));
     for (std::uint64_t f = lo; f < hi; ++f) {
-        util::Xoshiro256pp data_rng(frame_data_seed(point_seed, f));
+        draw_info(info, cfg, point_seed, f, cp.k);
         AwgnModem modem(cfg.modulation, frame_noise_seed(point_seed, f));
-
-        util::BitVec info(static_cast<std::size_t>(cp.k));
-        if (cfg.random_data) {
-            for (int v = 0; v < cp.k; ++v)
-                if (data_rng() & 1u) info.set(static_cast<std::size_t>(v), true);
-        }
         const util::BitVec cw = encoder.encode(info);
         const std::vector<double> llr = modem.transmit(cw, sigma);
         const DecodeOutcome out = decode(llr);
-        DVBS2_REQUIRE(out.info_bits.size() == static_cast<std::size_t>(cp.k),
-                      "decoder returned wrong info length");
-
-        const std::size_t errs = util::BitVec::hamming_distance(out.info_bits, info);
-        t.bit_errors += errs;
-        if (errs != 0) {
-            ++t.frame_errors;
-            if (out.converged) ++t.undetected;
-        }
-        t.iter_sum += static_cast<std::uint64_t>(out.iterations > 0 ? out.iterations : 0);
-        ++t.frames;
+        tally_frame(t, info, out.info_bits, out.iterations, out.converged, cp.k);
     }
     return t;
 }
+
+/// Worker-owned decode buffers for the engine path: one block of
+/// preferred_batch() frames' LLRs, transmitted info words, and reused
+/// DecodeResults. Sized once per worker; steady state allocates nothing in
+/// the decode call itself.
+struct EngineBatchWorkspace {
+    EngineBatchWorkspace(const code::Dvbs2Code& code, int block_frames)
+        : llrs(static_cast<std::size_t>(block_frames) *
+               static_cast<std::size_t>(code.params().n)),
+          results(static_cast<std::size_t>(block_frames)),
+          infos(static_cast<std::size_t>(block_frames),
+                util::BitVec(static_cast<std::size_t>(code.params().k))) {}
+
+    std::vector<double> llrs;            // frame-major block, B * N
+    std::vector<core::DecodeResult> results;
+    std::vector<util::BitVec> infos;     // transmitted info words of the block
+};
+
+/// Engine counterpart of run_batch: same per-frame RNG streams and tally
+/// rules, but frames are decoded through Engine::decode_batch in blocks of
+/// the engine's preferred batch size (SIMD lane count for the frame-per-lane
+/// engine), amortizing setup and filling every lane.
+Tally run_batch_engine(const code::Dvbs2Code& code, const enc::Encoder& encoder,
+                       core::Engine& engine, EngineBatchWorkspace& ws, const SimConfig& cfg,
+                       double sigma, std::uint64_t point_seed, std::uint64_t lo,
+                       std::uint64_t hi) {
+    const auto& cp = code.params();
+    const auto n = static_cast<std::size_t>(cp.n);
+    const auto cap = static_cast<std::uint64_t>(ws.results.size());
+    Tally t;
+    for (std::uint64_t f0 = lo; f0 < hi; f0 += cap) {
+        const auto cnt = static_cast<std::size_t>(std::min(cap, hi - f0));
+        for (std::size_t i = 0; i < cnt; ++i) {
+            const std::uint64_t f = f0 + static_cast<std::uint64_t>(i);
+            draw_info(ws.infos[i], cfg, point_seed, f, cp.k);
+            AwgnModem modem(cfg.modulation, frame_noise_seed(point_seed, f));
+            const util::BitVec cw = encoder.encode(ws.infos[i]);
+            const std::vector<double> llr = modem.transmit(cw, sigma);
+            std::copy(llr.begin(), llr.end(), ws.llrs.begin() + static_cast<std::ptrdiff_t>(i * n));
+        }
+        engine.decode_batch(std::span<const double>(ws.llrs.data(), cnt * n),
+                            std::span<core::DecodeResult>(ws.results.data(), cnt));
+        for (std::size_t i = 0; i < cnt; ++i)
+            tally_frame(t, ws.infos[i], ws.results[i].info_bits, ws.results[i].iterations,
+                        ws.results[i].converged, cp.k);
+    }
+    return t;
+}
+
+/// Per-worker batch executor: simulates frames [lo, hi) and returns their
+/// exact tally. Built once per worker; owns all mutable decode state.
+using BatchFn = std::function<Tally(std::uint64_t lo, std::uint64_t hi)>;
+
+/// Builds one worker's BatchFn after sigma and the point seed are known.
+using BatchFactory = std::function<BatchFn(unsigned worker, double sigma,
+                                           std::uint64_t point_seed)>;
 
 /// Reduction state shared by the workers of one point; all fields are
 /// guarded by `mu` except the two atomics.
@@ -91,10 +160,12 @@ struct Reduction {
     bool stopped = false;
 };
 
-}  // namespace
-
-BerPoint simulate_point_parallel(const code::Dvbs2Code& code, const DecodeFactory& factory,
-                                 double ebn0_db, const SimConfig& cfg, util::ThreadPool* pool) {
+/// Shared scaffold of both public point simulators: batch-claimed
+/// scheduling plus the deterministic prefix reduction. The decode path is
+/// entirely inside the BatchFactory, so DecodeFn- and engine-based runs go
+/// through identical scheduling and stopping logic.
+BerPoint simulate_point_impl(const code::Dvbs2Code& code, const BatchFactory& make_batch_fn,
+                             double ebn0_db, const SimConfig& cfg, util::ThreadPool* pool) {
     const double sigma = noise_sigma(ebn0_db, code.params().rate(), cfg.modulation);
     const std::uint64_t point_seed = point_stream_seed(cfg.seed, ebn0_db);
     const unsigned threads = util::resolve_thread_count(cfg.threads);
@@ -107,8 +178,7 @@ BerPoint simulate_point_parallel(const code::Dvbs2Code& code, const DecodeFactor
     const Clock::time_point start = Clock::now();
 
     auto worker = [&](unsigned w) {
-        const DecodeFn decode = factory(w);
-        const enc::Encoder encoder(code);
+        const BatchFn run = make_batch_fn(w, sigma, point_seed);
         for (;;) {
             const std::uint64_t b = red.next_batch.fetch_add(1, std::memory_order_relaxed);
             if (b >= num_batches || b >= red.stop_at.load(std::memory_order_acquire)) break;
@@ -116,7 +186,7 @@ BerPoint simulate_point_parallel(const code::Dvbs2Code& code, const DecodeFactor
             const std::uint64_t hi = std::min(lo + batch, max_frames);
 
             const Clock::time_point t0 = Clock::now();
-            const Tally t = run_batch(code, encoder, decode, cfg, sigma, point_seed, lo, hi);
+            const Tally t = run(lo, hi);
             busy_s[w] += seconds_since(t0);
 
             bool stop_now;
@@ -193,6 +263,44 @@ BerPoint simulate_point_parallel(const code::Dvbs2Code& code, const DecodeFactor
     return pt;
 }
 
+BatchFactory decode_fn_batches(const code::Dvbs2Code& code, const DecodeFactory& factory,
+                               const SimConfig& cfg) {
+    return [&code, &factory, &cfg](unsigned w, double sigma, std::uint64_t point_seed) -> BatchFn {
+        auto decode = std::make_shared<DecodeFn>(factory(w));
+        auto encoder = std::make_shared<enc::Encoder>(code);
+        return [&code, &cfg, decode, encoder, sigma, point_seed](std::uint64_t lo,
+                                                                 std::uint64_t hi) {
+            return run_batch(code, *encoder, *decode, cfg, sigma, point_seed, lo, hi);
+        };
+    };
+}
+
+BatchFactory engine_batches(const code::Dvbs2Code& code, const core::EngineSpec& spec,
+                            const SimConfig& cfg) {
+    return [&code, &spec, &cfg](unsigned /*w*/, double sigma, std::uint64_t point_seed) -> BatchFn {
+        std::shared_ptr<core::Engine> engine = core::make_engine(code, spec);
+        auto encoder = std::make_shared<enc::Encoder>(code);
+        auto ws = std::make_shared<EngineBatchWorkspace>(code,
+                                                         std::max(engine->preferred_batch(), 1));
+        return [&code, &cfg, engine, encoder, ws, sigma, point_seed](std::uint64_t lo,
+                                                                     std::uint64_t hi) {
+            return run_batch_engine(code, *encoder, *engine, *ws, cfg, sigma, point_seed, lo, hi);
+        };
+    };
+}
+
+}  // namespace
+
+BerPoint simulate_point_parallel(const code::Dvbs2Code& code, const DecodeFactory& factory,
+                                 double ebn0_db, const SimConfig& cfg, util::ThreadPool* pool) {
+    return simulate_point_impl(code, decode_fn_batches(code, factory, cfg), ebn0_db, cfg, pool);
+}
+
+BerPoint simulate_point_engine(const code::Dvbs2Code& code, const core::EngineSpec& spec,
+                               double ebn0_db, const SimConfig& cfg, util::ThreadPool* pool) {
+    return simulate_point_impl(code, engine_batches(code, spec, cfg), ebn0_db, cfg, pool);
+}
+
 std::vector<BerPoint> simulate_sweep_parallel(const code::Dvbs2Code& code,
                                               const DecodeFactory& factory,
                                               const std::vector<double>& ebn0_db,
@@ -208,6 +316,25 @@ std::vector<BerPoint> simulate_sweep_parallel(const code::Dvbs2Code& code,
     util::ThreadPool pool(threads);
     for (double snr : ebn0_db)
         points.push_back(simulate_point_parallel(code, factory, snr, cfg, &pool));
+    return points;
+}
+
+std::vector<BerPoint> simulate_sweep_engine(const code::Dvbs2Code& code,
+                                            const core::EngineSpec& spec,
+                                            const std::vector<double>& ebn0_db,
+                                            const SimConfig& cfg) {
+    core::validate_engine_spec(spec);  // fail fast, before any point runs
+    const unsigned threads = util::resolve_thread_count(cfg.threads);
+    std::vector<BerPoint> points;
+    points.reserve(ebn0_db.size());
+    if (threads == 1) {
+        for (double snr : ebn0_db)
+            points.push_back(simulate_point_engine(code, spec, snr, cfg, nullptr));
+        return points;
+    }
+    util::ThreadPool pool(threads);
+    for (double snr : ebn0_db)
+        points.push_back(simulate_point_engine(code, spec, snr, cfg, &pool));
     return points;
 }
 
@@ -229,6 +356,25 @@ std::optional<double> find_threshold_db_parallel(const code::Dvbs2Code& code,
         if (pt.ber(k_bits) < target_ber) return snr;
     }
     return std::nullopt;  // target BER never reached within the scan range
+}
+
+std::optional<double> find_threshold_db_engine(const code::Dvbs2Code& code,
+                                               const core::EngineSpec& spec, double target_ber,
+                                               double start_db, double step_db,
+                                               const SimConfig& cfg, double max_db) {
+    DVBS2_REQUIRE(step_db > 0.0, "step must be positive");
+    core::validate_engine_spec(spec);
+    const auto k_bits = static_cast<std::uint64_t>(code.params().k);
+    const unsigned threads = util::resolve_thread_count(cfg.threads);
+    util::ThreadPool pool(threads > 1 ? threads : 1);
+    util::ThreadPool* shared = threads > 1 ? &pool : nullptr;
+    for (std::uint64_t i = 0;; ++i) {
+        const double snr = start_db + static_cast<double>(i) * step_db;
+        if (snr > max_db + 1e-9) break;
+        const BerPoint pt = simulate_point_engine(code, spec, snr, cfg, shared);
+        if (pt.ber(k_bits) < target_ber) return snr;
+    }
+    return std::nullopt;
 }
 
 }  // namespace dvbs2::comm

@@ -22,6 +22,7 @@
 #pragma once
 
 #include "comm/ber.hpp"
+#include "core/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dvbs2::comm {
@@ -55,5 +56,35 @@ std::optional<double> find_threshold_db_parallel(const code::Dvbs2Code& code,
                                                  const DecodeFactory& factory, double target_ber,
                                                  double start_db, double step_db,
                                                  const SimConfig& cfg, double max_db = 12.0);
+
+// --- engine-spec entry points -------------------------------------------
+//
+// Same Monte-Carlo contract as the DecodeFactory variants (identical RNG
+// streams, batch-claimed scheduling, deterministic reduction — tallies are
+// bit-identical for every thread count AND to the DecodeFactory variants
+// when the spec describes the same decoder), but each worker builds its own
+// engine from the registry (core::make_engine) and decodes its work items
+// through Engine::decode_batch in blocks of Engine::preferred_batch()
+// frames, so the SIMD frame-per-lane engine sees whole batches. All decode
+// workspaces are worker-owned and reused: the steady-state decode path
+// performs no heap allocation.
+
+/// Simulates one Eb/N0 point with per-worker engines built from `spec`.
+BerPoint simulate_point_engine(const code::Dvbs2Code& code, const core::EngineSpec& spec,
+                               double ebn0_db, const SimConfig& cfg,
+                               util::ThreadPool* pool = nullptr);
+
+/// Sweep over `ebn0_db` with one shared worker pool and per-worker engines.
+std::vector<BerPoint> simulate_sweep_engine(const code::Dvbs2Code& code,
+                                            const core::EngineSpec& spec,
+                                            const std::vector<double>& ebn0_db,
+                                            const SimConfig& cfg);
+
+/// Threshold scan with per-worker engines (same scan semantics as
+/// find_threshold_db_parallel).
+std::optional<double> find_threshold_db_engine(const code::Dvbs2Code& code,
+                                               const core::EngineSpec& spec, double target_ber,
+                                               double start_db, double step_db,
+                                               const SimConfig& cfg, double max_db = 12.0);
 
 }  // namespace dvbs2::comm

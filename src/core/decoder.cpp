@@ -1,10 +1,8 @@
 #include "core/decoder.hpp"
 
-#include <cmath>
+#include <utility>
 
-#include "core/arith.hpp"
-#include "core/mp_decoder.hpp"
-#include "core/simd/simd_decoder.hpp"
+#include "core/engine.hpp"
 
 namespace dvbs2::core {
 
@@ -37,116 +35,88 @@ const char* to_string(DecoderBackend b) {
     return "?";
 }
 
+const char* to_string(SimdLaneMode m) {
+    switch (m) {
+        case SimdLaneMode::Auto: return "auto";
+        case SimdLaneMode::GroupParallel: return "group-parallel";
+        case SimdLaneMode::FramePerLane: return "frame-per-lane";
+    }
+    return "?";
+}
+
+const char* to_string(Arithmetic a) {
+    switch (a) {
+        case Arithmetic::Float: return "float";
+        case Arithmetic::Fixed: return "fixed";
+    }
+    return "?";
+}
+
 // ---------------------------------------------------------------- Decoder
 
-struct Decoder::Impl {
-    Impl(const code::Dvbs2Code& code, const DecoderConfig& cfg)
-        : config(cfg), engine(code, cfg, FloatArith(cfg.rule, cfg.normalization, cfg.offset)) {
-        DVBS2_REQUIRE(cfg.backend == DecoderBackend::Scalar,
-                      "the SIMD backend models the fixed-point datapath only; "
-                      "use FixedDecoder for DecoderBackend::Simd");
-    }
-
-    DecoderConfig config;
-    MpDecoder<FloatArith> engine;
-};
-
 Decoder::Decoder(const code::Dvbs2Code& code, const DecoderConfig& cfg)
-    : impl_(std::make_unique<Impl>(code, cfg)) {}
+    : engine_(make_engine(code, EngineSpec{Arithmetic::Float, cfg, quant::kQuant6})) {}
 Decoder::~Decoder() = default;
 Decoder::Decoder(Decoder&&) noexcept = default;
 Decoder& Decoder::operator=(Decoder&&) noexcept = default;
 
-DecodeResult Decoder::decode(const std::vector<double>& llr) {
-    std::vector<double> clamped(llr.size());
-    for (std::size_t i = 0; i < llr.size(); ++i) {
-        DVBS2_REQUIRE(std::isfinite(llr[i]),
-                      "non-finite channel LLR at index " + std::to_string(i));
-        clamped[i] = util::clamp_llr(llr[i]);
-    }
-    return impl_->engine.decode_values(clamped);
+DecodeResult Decoder::decode(const std::vector<double>& llr) { return engine_->decode(llr); }
+
+void Decoder::decode_into(std::span<const double> llr, DecodeResult& out) {
+    engine_->decode_into(llr, out);
 }
 
 void Decoder::set_observer(std::function<void(const IterationTrace&)> observer) {
-    impl_->engine.set_observer(std::move(observer));
+    engine_->set_observer(std::move(observer));
 }
 
-const DecoderConfig& Decoder::config() const noexcept { return impl_->config; }
+const DecoderConfig& Decoder::config() const noexcept { return engine_->config(); }
+
+Engine& Decoder::engine() noexcept { return *engine_; }
 
 // ----------------------------------------------------------- FixedDecoder
 
-struct FixedDecoder::Impl {
-    Impl(const code::Dvbs2Code& code, const DecoderConfig& cfg, const quant::QuantSpec& sp)
-        : config(cfg), spec(sp), table(sp) {
-        if (cfg.backend == DecoderBackend::Simd) {
-            simd_engine = std::make_unique<SimdFixedDecoder>(code, cfg, sp);
-        } else {
-            scalar_engine = std::make_unique<MpDecoder<FixedArith>>(
-                code, cfg,
-                FixedArith(cfg.rule, sp, cfg.rule == CheckRule::Exact ? &table : nullptr,
-                           cfg.normalization, cfg.offset));
-        }
-    }
-
-    DecodeResult decode_values(const std::vector<quant::QLLR>& q) {
-        return simd_engine ? simd_engine->decode_values(q) : scalar_engine->decode_values(q);
-    }
-
-    DecoderConfig config;
-    quant::QuantSpec spec;
-    quant::BoxplusTable table;
-    // Exactly one engine is live, selected by config.backend; both produce
-    // bit-identical messages and results (pinned by tests/test_simd.cpp).
-    std::unique_ptr<MpDecoder<FixedArith>> scalar_engine;
-    std::unique_ptr<SimdFixedDecoder> simd_engine;
-};
-
 FixedDecoder::FixedDecoder(const code::Dvbs2Code& code, const DecoderConfig& cfg,
                            const quant::QuantSpec& spec)
-    : impl_(std::make_unique<Impl>(code, cfg, spec)) {}
+    : spec_(spec), engine_(make_engine(code, EngineSpec{Arithmetic::Fixed, cfg, spec})) {}
 FixedDecoder::~FixedDecoder() = default;
 FixedDecoder::FixedDecoder(FixedDecoder&&) noexcept = default;
 FixedDecoder& FixedDecoder::operator=(FixedDecoder&&) noexcept = default;
 
 DecodeResult FixedDecoder::decode(const std::vector<double>& llr) {
-    std::vector<quant::QLLR> q(llr.size());
-    for (std::size_t i = 0; i < llr.size(); ++i) {
-        DVBS2_REQUIRE(std::isfinite(llr[i]),
-                      "non-finite channel LLR at index " + std::to_string(i));
-        q[i] = quant::quantize(llr[i], impl_->spec);
-    }
-    return impl_->decode_values(q);
+    return engine_->decode(llr);
 }
 
 DecodeResult FixedDecoder::decode_raw(const std::vector<quant::QLLR>& qllr) {
-    return impl_->decode_values(qllr);
+    DecodeResult result;
+    engine_->decode_raw_into(qllr, result);
+    return result;
+}
+
+void FixedDecoder::decode_into(std::span<const double> llr, DecodeResult& out) {
+    engine_->decode_into(llr, out);
+}
+
+void FixedDecoder::decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) {
+    engine_->decode_raw_into(qllr, out);
 }
 
 void FixedDecoder::set_cn_order(std::vector<int> order) {
-    DVBS2_REQUIRE(impl_->scalar_engine != nullptr,
-                  "per-check-node input orders require DecoderBackend::Scalar "
-                  "(the SIMD engine processes the canonical slot order)");
-    impl_->scalar_engine->set_cn_order(std::move(order));
+    engine_->set_cn_order(std::move(order));
 }
 
 void FixedDecoder::set_observer(std::function<void(const IterationTrace&)> observer) {
-    if (impl_->simd_engine)
-        impl_->simd_engine->set_observer(std::move(observer));
-    else
-        impl_->scalar_engine->set_observer(std::move(observer));
+    engine_->set_observer(std::move(observer));
 }
 
 std::vector<quant::QLLR> FixedDecoder::run_and_dump_c2v(const std::vector<quant::QLLR>& qllr,
                                                         int iters) {
-    if (impl_->simd_engine) {
-        impl_->simd_engine->run_iterations(qllr, iters);
-        return impl_->simd_engine->c2v_messages();
-    }
-    impl_->scalar_engine->run_iterations(qllr, iters);
-    return impl_->scalar_engine->c2v_messages();
+    return engine_->run_and_dump_c2v(qllr, iters);
 }
 
-const quant::QuantSpec& FixedDecoder::spec() const noexcept { return impl_->spec; }
-const DecoderConfig& FixedDecoder::config() const noexcept { return impl_->config; }
+const quant::QuantSpec& FixedDecoder::spec() const noexcept { return spec_; }
+const DecoderConfig& FixedDecoder::config() const noexcept { return engine_->config(); }
+
+Engine& FixedDecoder::engine() noexcept { return *engine_; }
 
 }  // namespace dvbs2::core

@@ -3,12 +3,20 @@
 // `Decoder` is the floating-point reference (infinite-precision messages up
 // to the ±30 clamp); `FixedDecoder` is the bit-accurate model of the
 // hardware datapath with 5/6-bit quantized messages. Both run any of the
-// four schedules of core/types.hpp; the paper's IP core corresponds to
+// five schedules of core/types.hpp; the paper's IP core corresponds to
 // FixedDecoder{ZigzagSegmented, Exact, 30 iterations, 6-bit}.
+//
+// Both classes are thin wrappers over the unified engine layer
+// (core/engine.hpp): construction runs the central DecoderConfig validation
+// and builds the matching registered engine, and every call forwards to it.
+// New code that wants zero-allocation decode_into / batched decode_batch can
+// use the wrapped engine directly via engine(), or build one with
+// core::make_engine.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "code/tanner.hpp"
@@ -16,6 +24,8 @@
 #include "quant/fixed.hpp"
 
 namespace dvbs2::core {
+
+class Engine;
 
 /// Floating-point belief-propagation decoder.
 class Decoder {
@@ -29,15 +39,21 @@ public:
     /// Decodes channel LLRs (size N, positive favors bit 0).
     DecodeResult decode(const std::vector<double>& llr);
 
+    /// Non-allocating variant: decodes into caller-owned result storage,
+    /// which is reused (and resized only on first use) across calls.
+    void decode_into(std::span<const double> llr, DecodeResult& out);
+
     /// Installs a per-iteration diagnostics observer (see IterationTrace);
     /// pass an empty function to disable.
     void set_observer(std::function<void(const IterationTrace&)> observer);
 
     const DecoderConfig& config() const noexcept;
 
+    /// The wrapped engine (for decode_batch and other Engine-only APIs).
+    Engine& engine() noexcept;
+
 private:
-    struct Impl;
-    std::unique_ptr<Impl> impl_;
+    std::unique_ptr<Engine> engine_;
 };
 
 /// Bit-accurate fixed-point decoder (the hardware datapath model).
@@ -57,6 +73,10 @@ public:
     /// Decodes from already-quantized channel values (size N).
     DecodeResult decode_raw(const std::vector<quant::QLLR>& qllr);
 
+    /// Non-allocating variants into caller-owned, reused result storage.
+    void decode_into(std::span<const double> llr, DecodeResult& out);
+    void decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out);
+
     /// Sets the per-check-node information-edge processing order (see
     /// MpDecoder::set_cn_order); used by the architecture equivalence tests.
     void set_cn_order(std::vector<int> order);
@@ -72,9 +92,12 @@ public:
     const quant::QuantSpec& spec() const noexcept;
     const DecoderConfig& config() const noexcept;
 
+    /// The wrapped engine (for decode_batch and other Engine-only APIs).
+    Engine& engine() noexcept;
+
 private:
-    struct Impl;
-    std::unique_ptr<Impl> impl_;
+    quant::QuantSpec spec_;
+    std::unique_ptr<Engine> engine_;
 };
 
 }  // namespace dvbs2::core

@@ -1,0 +1,377 @@
+// Unified decoder-engine layer: central validation, the engine registry,
+// and the three in-tree engine implementations (float-scalar, fixed-scalar,
+// fixed-simd). The public Decoder/FixedDecoder classes are thin wrappers
+// over make_engine (see decoder.cpp).
+#include "core/engine.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/arith.hpp"
+#include "core/mp_decoder.hpp"
+#include "core/simd/batch_decoder.hpp"
+#include "core/simd/simd_decoder.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace dvbs2::core {
+
+// ------------------------------------------------------------- validation
+
+void validate_engine_spec(const EngineSpec& spec) {
+    const DecoderConfig& c = spec.config;
+    DVBS2_REQUIRE(c.max_iterations >= 0, "max_iterations must be non-negative, got " +
+                                             std::to_string(c.max_iterations));
+    if (c.rule == CheckRule::NormalizedMinSum)
+        DVBS2_REQUIRE(c.normalization > 0.0 && c.normalization <= 1.0,
+                      "normalization must be in (0, 1] for rule=normalized-min-sum, got " +
+                          std::to_string(c.normalization));
+    if (c.rule == CheckRule::OffsetMinSum)
+        DVBS2_REQUIRE(c.offset >= 0.0, "offset must be non-negative for rule=offset-min-sum, "
+                                       "got " + std::to_string(c.offset));
+    if (spec.arith == Arithmetic::Float) {
+        DVBS2_REQUIRE(c.backend != DecoderBackend::Simd,
+                      "backend=simd models the fixed-point datapath only; "
+                      "use fixed arithmetic (core::FixedDecoder / Arithmetic::Fixed) "
+                      "for DecoderBackend::Simd");
+    } else {
+        quant::validate_spec(spec.quant);
+    }
+    if (c.backend == DecoderBackend::Simd && c.lane_mode != SimdLaneMode::FramePerLane) {
+        DVBS2_REQUIRE(c.schedule == Schedule::TwoPhase ||
+                          c.schedule == Schedule::ZigzagSegmented,
+                      std::string("backend=simd with lane_mode=") + to_string(c.lane_mode) +
+                          " (group-parallel lanes) supports schedule=two-phase and "
+                          "schedule=zigzag-segmented, got schedule=" + to_string(c.schedule) +
+                          "; use lane_mode=frame-per-lane (one lane per frame) to run this "
+                          "schedule on the SIMD backend");
+    }
+}
+
+// ---------------------------------------------------------- Engine (base)
+
+Engine::~Engine() = default;
+
+void Engine::decode_raw_into(std::span<const quant::QLLR> /*qllr*/, DecodeResult& /*out*/) {
+    throw std::runtime_error(std::string("decode_raw_into requires a fixed-point engine "
+                                         "(this engine's arithmetic is ") +
+                             to_string(arithmetic()) + ")");
+}
+
+void Engine::decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) {
+    const std::size_t b = out.size();
+    DVBS2_REQUIRE(b > 0, "decode_batch needs at least one result slot");
+    DVBS2_REQUIRE(llrs.size() % b == 0,
+                  "batch LLR length must be frame-count * frame-length");
+    const std::size_t n = llrs.size() / b;
+    for (std::size_t f = 0; f < b; ++f) decode_into(llrs.subspan(f * n, n), out[f]);
+}
+
+DecodeResult Engine::decode(std::span<const double> llr) {
+    DecodeResult result;
+    decode_into(llr, result);
+    return result;
+}
+
+const quant::QuantSpec* Engine::quant_spec() const noexcept { return nullptr; }
+
+int Engine::preferred_batch() const noexcept { return 1; }
+
+void Engine::set_cn_order(std::vector<int> /*order*/) {
+    throw std::runtime_error("per-check-node input orders require a scalar engine "
+                             "(DecoderBackend::Scalar); the SIMD engines process the "
+                             "canonical slot order");
+}
+
+std::vector<quant::QLLR> Engine::run_and_dump_c2v(std::span<const quant::QLLR> /*qllr*/,
+                                                  int /*iters*/) {
+    throw std::runtime_error(std::string("run_and_dump_c2v requires a fixed-point engine "
+                                         "(this engine's arithmetic is ") +
+                             to_string(arithmetic()) + ")");
+}
+
+// --------------------------------------------------- engine implementations
+
+namespace {
+
+/// Engine-owned staging reused across calls: `staging` holds one converted
+/// frame, `block` a lane-count batch block (SIMD engine only). Message
+/// memories live inside the wrapped decoders and persist the same way;
+/// together they are the reason steady-state decode calls allocate nothing.
+template <class T>
+struct DecodeWorkspace {
+    std::vector<T> staging;
+    std::vector<T> block;
+};
+
+class FloatEngine final : public Engine {
+public:
+    FloatEngine(const code::Dvbs2Code& code, const EngineSpec& spec)
+        : spec_(spec),
+          mp_(code, spec.config,
+              FloatArith(spec.config.rule, spec.config.normalization, spec.config.offset)) {
+        ws_.staging.resize(static_cast<std::size_t>(code.n()));
+    }
+
+    void decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+            DVBS2_REQUIRE(std::isfinite(llr[i]),
+                          "non-finite channel LLR at index " + std::to_string(i));
+            ws_.staging[i] = util::clamp_llr(llr[i]);
+        }
+        mp_.decode_into(ws_.staging, out);
+    }
+
+    void set_observer(std::function<void(const IterationTrace&)> observer) override {
+        mp_.set_observer(std::move(observer));
+    }
+
+    const DecoderConfig& config() const noexcept override { return spec_.config; }
+    Arithmetic arithmetic() const noexcept override { return Arithmetic::Float; }
+    std::string backend_name() const override { return "float-scalar"; }
+
+    void set_cn_order(std::vector<int> order) override { mp_.set_cn_order(std::move(order)); }
+
+private:
+    EngineSpec spec_;
+    MpDecoder<FloatArith> mp_;
+    DecodeWorkspace<double> ws_;
+};
+
+class FixedScalarEngine final : public Engine {
+public:
+    FixedScalarEngine(const code::Dvbs2Code& code, const EngineSpec& spec)
+        : spec_(spec),
+          table_(spec.quant),
+          mp_(code, spec.config,
+              FixedArith(spec.config.rule, spec.quant,
+                         spec.config.rule == CheckRule::Exact ? &table_ : nullptr,
+                         spec.config.normalization, spec.config.offset)) {
+        ws_.staging.resize(static_cast<std::size_t>(code.n()));
+    }
+
+    void decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+            DVBS2_REQUIRE(std::isfinite(llr[i]),
+                          "non-finite channel LLR at index " + std::to_string(i));
+            ws_.staging[i] = quant::quantize(llr[i], spec_.quant);
+        }
+        mp_.decode_into(ws_.staging, out);
+    }
+
+    void decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) override {
+        mp_.decode_into(qllr, out);
+    }
+
+    void set_observer(std::function<void(const IterationTrace&)> observer) override {
+        mp_.set_observer(std::move(observer));
+    }
+
+    const DecoderConfig& config() const noexcept override { return spec_.config; }
+    Arithmetic arithmetic() const noexcept override { return Arithmetic::Fixed; }
+    const quant::QuantSpec* quant_spec() const noexcept override { return &spec_.quant; }
+    std::string backend_name() const override { return "fixed-scalar"; }
+
+    void set_cn_order(std::vector<int> order) override { mp_.set_cn_order(std::move(order)); }
+
+    std::vector<quant::QLLR> run_and_dump_c2v(std::span<const quant::QLLR> qllr,
+                                              int iters) override {
+        mp_.run_iterations(qllr, iters);
+        return mp_.c2v_messages();
+    }
+
+private:
+    EngineSpec spec_;
+    quant::BoxplusTable table_;
+    MpDecoder<FixedArith> mp_;
+    DecodeWorkspace<quant::QLLR> ws_;
+};
+
+/// Fixed-point SIMD engine. Owns up to two lane mappings, selected by
+/// DecoderConfig::lane_mode: a group-parallel decoder (lane = functional
+/// unit) for single frames and a frame-per-lane decoder for batch blocks.
+class SimdEngine final : public Engine {
+public:
+    SimdEngine(const code::Dvbs2Code& code, const EngineSpec& spec) : spec_(spec) {
+        const auto n = static_cast<std::size_t>(code.n());
+        if (spec.config.lane_mode != SimdLaneMode::FramePerLane)
+            group_ = std::make_unique<SimdFixedDecoder>(code, spec.config, spec.quant);
+        if (spec.config.lane_mode != SimdLaneMode::GroupParallel) {
+            batch_ = std::make_unique<SimdBatchFixedDecoder>(code, spec.config, spec.quant);
+            ws_.block.resize(n * static_cast<std::size_t>(SimdBatchFixedDecoder::lanes()));
+        }
+        ws_.staging.resize(n);
+    }
+
+    void decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        quantize_range(llr, ws_.staging.data());
+        decode_raw_single(ws_.staging, out);
+    }
+
+    void decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) override {
+        DVBS2_REQUIRE(qllr.size() == ws_.staging.size(), "channel length mismatch");
+        decode_raw_single(qllr, out);
+    }
+
+    void decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) override {
+        const std::size_t b = out.size();
+        const std::size_t n = ws_.staging.size();
+        DVBS2_REQUIRE(b > 0, "decode_batch needs at least one result slot");
+        DVBS2_REQUIRE(llrs.size() == b * n, "batch LLR length must be frame-count * N");
+        if (!batch_ || has_observer_) {
+            // Group-parallel lane mode, or tracing: decode frame by frame so
+            // observers see one frame's iterations at a time, in order.
+            for (std::size_t f = 0; f < b; ++f) decode_into(llrs.subspan(f * n, n), out[f]);
+            return;
+        }
+        const auto lanes = static_cast<std::size_t>(SimdBatchFixedDecoder::lanes());
+        for (std::size_t f = 0; f < b; f += lanes) {
+            const std::size_t cnt = std::min(lanes, b - f);
+            quantize_range(llrs.subspan(f * n, cnt * n), ws_.block.data());
+            batch_->decode_into(std::span<const quant::QLLR>(ws_.block.data(), cnt * n), cnt,
+                                &out[f]);
+        }
+    }
+
+    void set_observer(std::function<void(const IterationTrace&)> observer) override {
+        if (observer && group_ == nullptr)
+            throw std::runtime_error(
+                "lane_mode=frame-per-lane does not emit iteration traces; use "
+                "lane_mode=auto or group-parallel (or DecoderBackend::Scalar) for tracing");
+        has_observer_ = static_cast<bool>(observer);
+        if (group_) group_->set_observer(std::move(observer));
+    }
+
+    const DecoderConfig& config() const noexcept override { return spec_.config; }
+    Arithmetic arithmetic() const noexcept override { return Arithmetic::Fixed; }
+    const quant::QuantSpec* quant_spec() const noexcept override { return &spec_.quant; }
+    std::string backend_name() const override {
+        return std::string("fixed-simd(") + simd_backend_name() + ")";
+    }
+    int preferred_batch() const noexcept override {
+        return batch_ ? SimdBatchFixedDecoder::lanes() : 1;
+    }
+
+    std::vector<quant::QLLR> run_and_dump_c2v(std::span<const quant::QLLR> qllr,
+                                              int iters) override {
+        if (group_) {
+            group_->run_iterations(qllr, iters);
+            return group_->c2v_messages();
+        }
+        batch_->run_iterations(qllr, 1, iters);
+        return batch_->c2v_messages(0);
+    }
+
+private:
+    void quantize_range(std::span<const double> llr, quant::QLLR* dst) {
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+            DVBS2_REQUIRE(std::isfinite(llr[i]),
+                          "non-finite channel LLR at index " + std::to_string(i));
+            dst[i] = quant::quantize(llr[i], spec_.quant);
+        }
+    }
+
+    void decode_raw_single(std::span<const quant::QLLR> qllr, DecodeResult& out) {
+        if (group_) {
+            group_->decode_into(qllr, out);
+            return;
+        }
+        batch_->decode_into(qllr, 1, &out);
+    }
+
+    EngineSpec spec_;
+    std::unique_ptr<SimdFixedDecoder> group_;       // lane = functional unit
+    std::unique_ptr<SimdBatchFixedDecoder> batch_;  // lane = frame
+    DecodeWorkspace<quant::QLLR> ws_;
+    bool has_observer_ = false;
+};
+
+// --------------------------------------------------------------- registry
+
+struct Registry {
+    std::mutex mu;
+    std::vector<std::pair<EngineKey, EngineBuilder>> entries;
+};
+
+Registry& registry() {
+    static Registry r;
+    static const bool builtins = [] {
+        r.entries.emplace_back(EngineKey{Arithmetic::Float, DecoderBackend::Scalar},
+                               [](const code::Dvbs2Code& code, const EngineSpec& spec) {
+                                   return std::unique_ptr<Engine>(
+                                       std::make_unique<FloatEngine>(code, spec));
+                               });
+        r.entries.emplace_back(EngineKey{Arithmetic::Fixed, DecoderBackend::Scalar},
+                               [](const code::Dvbs2Code& code, const EngineSpec& spec) {
+                                   return std::unique_ptr<Engine>(
+                                       std::make_unique<FixedScalarEngine>(code, spec));
+                               });
+        r.entries.emplace_back(EngineKey{Arithmetic::Fixed, DecoderBackend::Simd},
+                               [](const code::Dvbs2Code& code, const EngineSpec& spec) {
+                                   return std::unique_ptr<Engine>(
+                                       std::make_unique<SimdEngine>(code, spec));
+                               });
+        return true;
+    }();
+    (void)builtins;
+    return r;
+}
+
+}  // namespace
+
+void register_engine(const EngineKey& key, EngineBuilder builder) {
+    DVBS2_REQUIRE(builder != nullptr, "engine builder must be callable");
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& entry : r.entries) {
+        if (entry.first == key) {
+            entry.second = std::move(builder);
+            return;
+        }
+    }
+    r.entries.emplace_back(key, std::move(builder));
+}
+
+bool engine_registered(const EngineKey& key) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& entry : r.entries)
+        if (entry.first == key) return true;
+    return false;
+}
+
+std::vector<EngineKey> registered_engines() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<EngineKey> keys;
+    keys.reserve(r.entries.size());
+    for (const auto& entry : r.entries) keys.push_back(entry.first);
+    return keys;
+}
+
+std::unique_ptr<Engine> make_engine(const code::Dvbs2Code& code, const EngineSpec& spec) {
+    validate_engine_spec(spec);
+    const EngineKey key{spec.arith, spec.config.backend};
+    EngineBuilder builder;
+    {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (const auto& entry : r.entries) {
+            if (entry.first == key) {
+                builder = entry.second;
+                break;
+            }
+        }
+    }
+    DVBS2_REQUIRE(builder != nullptr,
+                  std::string("no engine registered for arithmetic=") + to_string(key.arith) +
+                      " backend=" + to_string(key.backend));
+    return builder(code, spec);
+}
+
+}  // namespace dvbs2::core

@@ -1,0 +1,139 @@
+// Unified decoder-engine layer.
+//
+// `core::Engine` is the one type-erased interface every decode backend
+// implements: the floating-point reference, the scalar fixed-point datapath
+// model, and the SIMD backend (group-parallel and frame-per-lane) all sit
+// behind it, and every consumer — the Monte-Carlo harness, the examples,
+// the benches — talks to this interface only. Engines are built through a
+// registry (`make_engine`) keyed by (Arithmetic, DecoderBackend); the full
+// EngineSpec (schedule, rule, quantization, lane mode) parameterizes the
+// built instance and is validated centrally by validate_engine_spec before
+// any builder runs, so illegal combinations fail in one place with a
+// diagnostic naming the offending option.
+//
+// Ownership and lifetime: an engine holds a pointer to the Dvbs2Code it was
+// built for (the code must outlive it) and owns all of its mutable state —
+// message memories, staging buffers, batch blocks — in a workspace reused
+// across calls. Engines are therefore stateful and NOT thread-safe: build
+// one engine per worker (see comm/parallel.hpp). After a first call has
+// sized the workspace and the caller's DecodeResult, steady-state
+// decode_into / decode_batch calls perform no heap allocation (pinned by
+// tests/test_alloc.cpp); installing an observer waives that guarantee
+// (tracing materializes a syndrome per iteration).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "code/tanner.hpp"
+#include "core/types.hpp"
+#include "quant/fixed.hpp"
+
+namespace dvbs2::core {
+
+/// Everything needed to build an engine. `quant` applies to fixed-point
+/// engines only (ignored — not validated — for Arithmetic::Float).
+struct EngineSpec {
+    Arithmetic arith = Arithmetic::Fixed;
+    DecoderConfig config;
+    quant::QuantSpec quant = quant::kQuant6;
+};
+
+/// Central configuration validation: throws std::runtime_error with a
+/// diagnostic naming the offending option for any illegal combination
+/// (float arithmetic with the SIMD backend, a schedule the group-parallel
+/// lane mode cannot run, an out-of-range normalization/offset/iteration
+/// count, a malformed quantizer spec). Every construction path — engines
+/// from make_engine, the Decoder/FixedDecoder wrappers — routes through
+/// this, so there is exactly one place that decides legality.
+void validate_engine_spec(const EngineSpec& spec);
+
+/// Type-erased decoder engine. All LLR spans use the channel sign
+/// convention (positive favors bit 0) and must have size N; batched calls
+/// take B frames stored back to back (size B·N, frame-major).
+class Engine {
+public:
+    virtual ~Engine();
+
+    /// Decodes one frame of channel LLRs into caller-owned result storage
+    /// (allocation-free once `out` is sized; see file header).
+    virtual void decode_into(std::span<const double> llr, DecodeResult& out) = 0;
+
+    /// Fixed-point engines decode already-quantized raw values; float
+    /// engines throw std::runtime_error.
+    virtual void decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out);
+
+    /// Decodes `out.size()` frames stored back to back in `llrs`. Results
+    /// are bit-identical to per-frame decode_into calls (pinned by
+    /// tests/test_engine.cpp); backends amortize setup and may execute
+    /// frames in parallel lanes. The base implementation loops decode_into.
+    virtual void decode_batch(std::span<const double> llrs, std::span<DecodeResult> out);
+
+    /// Convenience allocating wrapper over decode_into.
+    DecodeResult decode(std::span<const double> llr);
+
+    /// Installs a per-iteration diagnostics observer (empty disables).
+    /// Observers must not change any decode result; batched calls fall back
+    /// to per-frame execution so traces arrive frame by frame, in order.
+    virtual void set_observer(std::function<void(const IterationTrace&)> observer) = 0;
+
+    virtual const DecoderConfig& config() const noexcept = 0;
+    virtual Arithmetic arithmetic() const noexcept = 0;
+
+    /// Quantization of a fixed-point engine; nullptr for float engines.
+    virtual const quant::QuantSpec* quant_spec() const noexcept;
+
+    /// Human-readable backend tag, e.g. "float-scalar", "fixed-simd(avx2)".
+    virtual std::string backend_name() const = 0;
+
+    /// Preferred number of frames per decode_batch call (the lane count of
+    /// frame-parallel backends; 1 where batching only amortizes setup).
+    virtual int preferred_batch() const noexcept;
+
+    // --- diagnostic hooks implemented by a subset of engines; the default
+    // --- implementations throw std::runtime_error naming the limitation ---
+
+    /// Per-check-node information-edge processing order (scalar engines
+    /// only; see MpDecoder::set_cn_order).
+    virtual void set_cn_order(std::vector<int> order);
+
+    /// Runs exactly `iters` iterations on quantized channel values and
+    /// returns the c2v message state (fixed-point engines only).
+    virtual std::vector<quant::QLLR> run_and_dump_c2v(std::span<const quant::QLLR> qllr,
+                                                      int iters);
+};
+
+/// Registry key: which builder constructs the engine. Schedule, rule,
+/// quantization and lane mode select behavior *within* a backend and travel
+/// in the EngineSpec handed to the builder.
+struct EngineKey {
+    Arithmetic arith = Arithmetic::Fixed;
+    DecoderBackend backend = DecoderBackend::Scalar;
+
+    friend constexpr bool operator==(const EngineKey&, const EngineKey&) = default;
+};
+
+/// Builds one engine for a validated spec; the code must outlive the engine.
+using EngineBuilder =
+    std::function<std::unique_ptr<Engine>(const code::Dvbs2Code& code, const EngineSpec& spec)>;
+
+/// Registers (or replaces) the builder for `key`. The three in-tree
+/// backends (float-scalar, fixed-scalar, fixed-simd) are pre-registered;
+/// future backends (GPU, distributed) add themselves here.
+void register_engine(const EngineKey& key, EngineBuilder builder);
+
+/// True iff a builder is registered for `key`.
+bool engine_registered(const EngineKey& key);
+
+/// All currently registered keys, in registration order.
+std::vector<EngineKey> registered_engines();
+
+/// The factory: validates `spec` (validate_engine_spec), looks up the
+/// builder for (spec.arith, spec.config.backend) and builds the engine.
+/// Throws std::runtime_error on an invalid spec or an unregistered key.
+std::unique_ptr<Engine> make_engine(const code::Dvbs2Code& code, const EngineSpec& spec);
+
+}  // namespace dvbs2::core

@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "code/tanner.hpp"
@@ -79,25 +80,28 @@ public:
 
     /// Decodes from already-converted channel values (size N, decoder domain).
     DecodeResult decode_values(const std::vector<Value>& ch) {
-        const auto& cp = code_->params();
-        DVBS2_REQUIRE(ch.size() == static_cast<std::size_t>(cp.n), "channel length mismatch");
-        load_channel(ch);
-        reset_state();
-
         DecodeResult result;
+        decode_into(ch, result);
+        return result;
+    }
+
+    /// Non-allocating variant: decodes into caller-owned result storage.
+    /// Once `out`'s BitVecs have been sized by a first call, steady-state
+    /// calls perform no heap allocation (unless an observer is installed —
+    /// tracing materializes a syndrome vector per iteration).
+    void decode_into(std::span<const Value> ch, DecodeResult& out) {
+        begin(ch);
         int it = 0;
         bool converged = false;
-        if (cfg_.schedule == Schedule::Layered) init_layered_totals();
         for (; it < cfg_.max_iterations && !converged; ) {
-            if (cfg_.schedule != Schedule::Layered) variable_phase();
-            check_phase();
+            step();
             ++it;
             const bool need_harden =
                 cfg_.early_stop || it == cfg_.max_iterations || static_cast<bool>(observer_);
             if (need_harden) {
-                harden(result.codeword);
+                harden(out.codeword);
                 if (observer_) {
-                    const util::BitVec syn = code_->syndrome(result.codeword);
+                    const util::BitVec syn = code_->syndrome(out.codeword);
                     IterationTrace trace;
                     trace.iteration = it;
                     trace.unsatisfied_checks = static_cast<int>(syn.count());
@@ -105,21 +109,43 @@ public:
                     observer_(trace);
                     converged = cfg_.early_stop && trace.unsatisfied_checks == 0;
                 } else {
-                    converged = cfg_.early_stop && code_->is_codeword(result.codeword);
+                    converged = cfg_.early_stop && code_->is_codeword(out.codeword);
                 }
             }
         }
-        if (cfg_.max_iterations == 0) harden(result.codeword);
+        if (cfg_.max_iterations == 0) harden(out.codeword);
         if (!cfg_.early_stop && cfg_.max_iterations > 0)
-            converged = code_->is_codeword(result.codeword);
-        result.iterations = it;
-        result.converged = converged;
-        result.info_bits = util::BitVec(static_cast<std::size_t>(cp.k));
-        for (int v = 0; v < cp.k; ++v)
-            if (result.codeword.get(static_cast<std::size_t>(v)))
-                result.info_bits.set(static_cast<std::size_t>(v), true);
-        return result;
+            converged = code_->is_codeword(out.codeword);
+        out.iterations = it;
+        out.converged = converged;
+        copy_info_bits(out);
     }
+
+    // --- stepping API (used by the frame-per-lane batch engine, which needs
+    // --- to interleave iterations with its own per-lane harden/early-stop) ---
+
+    /// Loads the channel and resets all message state; pairs with step().
+    void begin(std::span<const Value> ch) {
+        const auto& cp = code_->params();
+        DVBS2_REQUIRE(ch.size() == static_cast<std::size_t>(cp.n), "channel length mismatch");
+        load_channel(ch);
+        reset_state();
+        if (cfg_.schedule == Schedule::Layered) init_layered_totals();
+    }
+
+    /// Runs one full iteration (variable phase + check phase); posteriors
+    /// are valid afterwards via posterior_in()/posterior_p().
+    void step() {
+        if (cfg_.schedule != Schedule::Layered) variable_phase();
+        check_phase();
+    }
+
+    /// Posterior totals after step(): information nodes, then parity nodes.
+    const std::vector<Wide>& posterior_in() const noexcept { return post_in_; }
+    const std::vector<Wide>& posterior_p() const noexcept { return post_p_; }
+    /// Loaded channel values (begin() must have run): information / parity.
+    const std::vector<Value>& channel_in() const noexcept { return ch_in_; }
+    const std::vector<Value>& channel_p() const noexcept { return ch_p_; }
 
     /// Read-only access to the message state (used by the bit-exactness
     /// experiments to compare against the architecture model).
@@ -129,18 +155,13 @@ public:
 
     /// Runs exactly `iters` iterations without early stopping and without
     /// hardening (for message-level comparisons).
-    void run_iterations(const std::vector<Value>& ch, int iters) {
-        load_channel(ch);
-        reset_state();
-        if (cfg_.schedule == Schedule::Layered) init_layered_totals();
-        for (int it = 0; it < iters; ++it) {
-            if (cfg_.schedule != Schedule::Layered) variable_phase();
-            check_phase();
-        }
+    void run_iterations(std::span<const Value> ch, int iters) {
+        begin(ch);
+        for (int it = 0; it < iters; ++it) step();
     }
 
 private:
-    void load_channel(const std::vector<Value>& ch) {
+    void load_channel(std::span<const Value> ch) {
         const auto& cp = code_->params();
         for (int v = 0; v < cp.k; ++v) ch_in_[static_cast<std::size_t>(v)] = ch[static_cast<std::size_t>(v)];
         for (int j = 0; j < cp.m(); ++j)
@@ -456,6 +477,18 @@ private:
         for (int j = 0; j < cp.m(); ++j)
             if (arith_.is_negative(post_p_[static_cast<std::size_t>(j)]))
                 codeword.set(static_cast<std::size_t>(cp.k + j), true);
+    }
+
+    /// Copies the K information bits out of the hardened codeword, reusing
+    /// `out.info_bits` storage when already correctly sized.
+    void copy_info_bits(DecodeResult& out) const {
+        const auto k = static_cast<std::size_t>(code_->params().k);
+        if (out.info_bits.size() != k)
+            out.info_bits = util::BitVec(k);
+        else
+            out.info_bits.clear();
+        for (std::size_t v = 0; v < k; ++v)
+            if (out.codeword.get(v)) out.info_bits.set(v, true);
     }
 
     const code::Dvbs2Code* code_;

@@ -1,0 +1,244 @@
+// Frame-parallel SIMD fixed-point decoder (lane = frame).
+//
+// Strategy: instantiate the scalar reference schedule implementation
+// (core/mp_decoder.hpp) with an arithmetic whose Value is a whole vector
+// register — lane l carries frame l's message. The schedule's control flow
+// (loop bounds, edge indices, boundary snapshots) depends only on the code
+// structure, never on message values, so W frames advance through the exact
+// scalar instruction sequence in lockstep and each lane reproduces the
+// scalar decoder bit for bit. Because the message arrays are lane-major
+// (vector<VecVal> indexed by edge), every access the scalar schedule makes
+// becomes a contiguous vector load/store: unlike the group-parallel engine,
+// this mode needs no gather instructions.
+//
+// Early stopping is per lane: after each iteration the posteriors are
+// hardened for the still-active lanes only, each active lane runs the
+// allocation-free syndrome check, and a converging lane freezes its result
+// (codeword, iteration count) while the remaining lanes keep iterating.
+// Finished lanes keep computing garbage in their vector slots — that is
+// harmless (lanes never interact) and cheaper than masking.
+#include "core/simd/batch_decoder.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "core/mp_decoder.hpp"
+#include "core/simd/lane_arith.hpp"
+#include "core/simd/vec.hpp"
+#include "util/error.hpp"
+
+namespace dvbs2::core {
+
+namespace {
+
+namespace sv = dvbs2::core::simd;
+using V = sv::ActiveVec;
+using Reg = V::reg;
+inline constexpr int W = V::width;
+using quant::QLLR;
+
+/// One vector register of W per-frame messages, with just enough operator
+/// surface for MpDecoder's accumulations. The default constructor is
+/// defaulted (not user-provided), so vector<VecVal>::resize value-
+/// initializes to all-zero lanes like the scalar arrays, while stack arrays
+/// stay default-initialized (no per-element zeroing in the hot loop).
+struct VecVal {
+    Reg r;
+    VecVal() = default;
+    VecVal(Reg x) : r(x) {}  // implicit: lane ops return raw registers
+    friend VecVal operator+(VecVal a, VecVal b) { return V::add(a.r, b.r); }
+    friend VecVal operator-(VecVal a, VecVal b) { return V::sub(a.r, b.r); }
+    VecVal& operator+=(VecVal o) {
+        r = V::add(r, o.r);
+        return *this;
+    }
+};
+
+/// Arith concept adapter: per-lane FixedArith semantics on VecVal. Only the
+/// members the begin()/step() path instantiates exist meaningfully;
+/// is_negative/from_llr are never instantiated on this arithmetic because
+/// the batch engine hardens lanes itself.
+class BatchLaneArith {
+public:
+    using Value = VecVal;
+    using Wide = VecVal;
+
+    BatchLaneArith(CheckRule rule, const quant::QuantSpec& spec,
+                   const quant::BoxplusTable* table, double normalization, double offset)
+        : lanes_(rule, spec, table, normalization, offset) {}
+
+    Value zero() const { return VecVal(V::broadcast(0)); }
+    Wide to_wide(Value v) const { return v; }
+    Value narrow(Wide w) const { return lanes_.narrow(w.r); }
+    Value combine(Value a, Value b) const { return lanes_.combine(a.r, b.r); }
+    Value finalize(Value v) const { return lanes_.finalize(v.r); }
+
+private:
+    sv::LaneFixedArith<V> lanes_;
+};
+
+}  // namespace
+
+struct SimdBatchFixedDecoder::Impl {
+    Impl(const code::Dvbs2Code& code, const DecoderConfig& cfg, const quant::QuantSpec& spec)
+        : code_(&code),
+          cfg_(cfg),
+          table_(spec),
+          mp_(code, cfg,
+              BatchLaneArith(cfg.rule, spec, cfg.rule == CheckRule::Exact ? &table_ : nullptr,
+                             cfg.normalization, cfg.offset)) {
+        ch_.resize(static_cast<std::size_t>(code.params().n));
+    }
+
+    /// Transposes `frames` frame-major channel vectors into the lane-major
+    /// block; unused lanes replicate frame 0 (their results are discarded).
+    void load_block(std::span<const QLLR> qllr, std::size_t frames) {
+        const auto n = static_cast<std::size_t>(code_->params().n);
+        DVBS2_REQUIRE(frames >= 1 && frames <= static_cast<std::size_t>(W),
+                      "batch frames must be in [1, lanes()]");
+        DVBS2_REQUIRE(qllr.size() == frames * n, "batch channel length mismatch");
+        QLLR tmp[W];
+        for (std::size_t i = 0; i < n; ++i) {
+            for (int l = 0; l < W; ++l) {
+                const auto f = static_cast<std::size_t>(l) < frames ? static_cast<std::size_t>(l)
+                                                                    : std::size_t{0};
+                tmp[l] = qllr[f * n + i];
+            }
+            ch_[i] = VecVal(V::load(tmp));
+        }
+    }
+
+    /// Hardens the still-active lanes from lane-major value arrays
+    /// (posteriors after an iteration, or the channel when no iterations
+    /// ran) into their caller-owned codewords.
+    void harden_lanes(const std::vector<VecVal>& in_vals, const std::vector<VecVal>& p_vals,
+                      DecodeResult* out, const bool* active, std::size_t frames) const {
+        const auto& cp = code_->params();
+        for (std::size_t b = 0; b < frames; ++b) {
+            if (!active[b]) continue;
+            if (out[b].codeword.size() != static_cast<std::size_t>(cp.n))
+                out[b].codeword = util::BitVec(static_cast<std::size_t>(cp.n));
+            else
+                out[b].codeword.clear();
+        }
+        QLLR tmp[W];
+        for (int v = 0; v < cp.k; ++v) {
+            V::store(tmp, in_vals[static_cast<std::size_t>(v)].r);
+            for (std::size_t b = 0; b < frames; ++b)
+                if (active[b] && tmp[b] < 0) out[b].codeword.set(static_cast<std::size_t>(v), true);
+        }
+        for (int j = 0; j < cp.m(); ++j) {
+            V::store(tmp, p_vals[static_cast<std::size_t>(j)].r);
+            for (std::size_t b = 0; b < frames; ++b)
+                if (active[b] && tmp[b] < 0)
+                    out[b].codeword.set(static_cast<std::size_t>(cp.k + j), true);
+        }
+    }
+
+    /// Freezes a lane's result (same info-bit extraction as the scalar
+    /// reference, reusing the caller's storage).
+    void finish_lane(DecodeResult& r, int iterations, bool converged) const {
+        r.iterations = iterations;
+        r.converged = converged;
+        const auto k = static_cast<std::size_t>(code_->params().k);
+        if (r.info_bits.size() != k)
+            r.info_bits = util::BitVec(k);
+        else
+            r.info_bits.clear();
+        for (std::size_t v = 0; v < k; ++v)
+            if (r.codeword.get(v)) r.info_bits.set(v, true);
+    }
+
+    void decode_into(std::span<const QLLR> qllr, std::size_t frames, DecodeResult* out) {
+        load_block(qllr, frames);
+        mp_.begin(ch_);
+
+        bool active[W] = {};
+        for (std::size_t b = 0; b < frames; ++b) active[b] = true;
+
+        if (cfg_.max_iterations == 0) {
+            // Mirror the scalar reference: decide straight from the channel.
+            harden_lanes(mp_.channel_in(), mp_.channel_p(), out, active, frames);
+            for (std::size_t b = 0; b < frames; ++b)
+                finish_lane(out[b], /*iterations=*/0, /*converged=*/false);
+            return;
+        }
+
+        std::size_t remaining = frames;
+        int it = 0;
+        while (remaining > 0 && it < cfg_.max_iterations) {
+            mp_.step();
+            ++it;
+            const bool last = it == cfg_.max_iterations;
+            if (!cfg_.early_stop && !last) continue;
+            harden_lanes(mp_.posterior_in(), mp_.posterior_p(), out, active, frames);
+            for (std::size_t b = 0; b < frames; ++b) {
+                if (!active[b]) continue;
+                const bool ok = code_->is_codeword(out[b].codeword);
+                if (cfg_.early_stop && ok) {
+                    active[b] = false;
+                    --remaining;
+                    finish_lane(out[b], it, true);
+                } else if (last) {
+                    active[b] = false;
+                    --remaining;
+                    // early_stop semantics: converged only via the per-
+                    // iteration check above; without early stopping the
+                    // final syndrome decides (same as the scalar engine).
+                    finish_lane(out[b], it, cfg_.early_stop ? false : ok);
+                }
+            }
+        }
+    }
+
+    void run_iterations(std::span<const QLLR> qllr, std::size_t frames, int iters) {
+        load_block(qllr, frames);
+        mp_.begin(ch_);
+        for (int i = 0; i < iters; ++i) mp_.step();
+    }
+
+    std::vector<QLLR> c2v_messages(std::size_t frame) const {
+        DVBS2_REQUIRE(frame < static_cast<std::size_t>(W), "lane index out of range");
+        const auto& c2v = mp_.c2v_messages();
+        std::vector<QLLR> out(c2v.size());
+        QLLR tmp[W];
+        for (std::size_t e = 0; e < c2v.size(); ++e) {
+            V::store(tmp, c2v[e].r);
+            out[e] = tmp[frame];
+        }
+        return out;
+    }
+
+    const code::Dvbs2Code* code_;
+    DecoderConfig cfg_;
+    quant::BoxplusTable table_;
+    MpDecoder<BatchLaneArith> mp_;
+    std::vector<VecVal> ch_;  // lane-major staged channel block
+};
+
+SimdBatchFixedDecoder::SimdBatchFixedDecoder(const code::Dvbs2Code& code,
+                                             const DecoderConfig& cfg,
+                                             const quant::QuantSpec& spec)
+    : impl_(std::make_unique<Impl>(code, cfg, spec)) {}
+SimdBatchFixedDecoder::~SimdBatchFixedDecoder() = default;
+SimdBatchFixedDecoder::SimdBatchFixedDecoder(SimdBatchFixedDecoder&&) noexcept = default;
+SimdBatchFixedDecoder& SimdBatchFixedDecoder::operator=(SimdBatchFixedDecoder&&) noexcept =
+    default;
+
+int SimdBatchFixedDecoder::lanes() noexcept { return W; }
+
+void SimdBatchFixedDecoder::decode_into(std::span<const quant::QLLR> qllr, std::size_t frames,
+                                        DecodeResult* out) {
+    impl_->decode_into(qllr, frames, out);
+}
+
+void SimdBatchFixedDecoder::run_iterations(std::span<const quant::QLLR> qllr,
+                                           std::size_t frames, int iters) {
+    impl_->run_iterations(qllr, frames, iters);
+}
+
+std::vector<quant::QLLR> SimdBatchFixedDecoder::c2v_messages(std::size_t frame) const {
+    return impl_->c2v_messages(frame);
+}
+
+}  // namespace dvbs2::core

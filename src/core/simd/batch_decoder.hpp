@@ -1,0 +1,74 @@
+// Frame-parallel (lane = frame) SIMD fixed-point decoder.
+//
+// The group-parallel backend (simd_decoder.hpp) vectorizes *within* one
+// frame across the Eq. 2 functional units, which restricts it to schedules
+// whose check nodes are independent inside a phase (TwoPhase,
+// ZigzagSegmented). This engine vectorizes *across* frames instead: lane l
+// of every vector register carries frame l's message, and the scalar
+// reference schedule — any of the five, including the strictly sequential
+// ZigzagForward/ZigzagMap/Layered sweeps — runs unchanged on W frames in
+// lockstep. Schedule control flow never depends on message values, so every
+// lane is bit-exact with a scalar MpDecoder<FixedArith> decode of its frame
+// (pinned by tests/test_engine.cpp), including per-frame early stopping:
+// each lane hardens and syndrome-checks at its own pace and records its
+// result at its own stopping iteration.
+//
+// Memory layout: messages are stored lane-major (one vector register per
+// edge), so every v2c/c2v access of the scalar schedule becomes a
+// contiguous vector load/store — the frame-per-lane mode needs no gathers
+// at all. The cost is W× the message footprint; throughput per frame still
+// exceeds the group-parallel mode on full batches (bench_simd_kernels).
+//
+// This header is intrinsic-free; batch_decoder.cpp is the only other TU
+// built with SIMD compiler flags (see src/core/CMakeLists.txt).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "code/tanner.hpp"
+#include "core/types.hpp"
+#include "quant/fixed.hpp"
+
+namespace dvbs2::core {
+
+/// W-frame lockstep decoder; W = simd_backend_width(). Use via the unified
+/// engine layer (core/engine.hpp, DecoderBackend::Simd with batches or
+/// SimdLaneMode::FramePerLane); direct use is for tests and benches.
+class SimdBatchFixedDecoder {
+public:
+    /// The code object must outlive the decoder. Accepts every schedule.
+    SimdBatchFixedDecoder(const code::Dvbs2Code& code, const DecoderConfig& cfg,
+                          const quant::QuantSpec& spec = quant::kQuant6);
+    ~SimdBatchFixedDecoder();
+    SimdBatchFixedDecoder(SimdBatchFixedDecoder&&) noexcept;
+    SimdBatchFixedDecoder& operator=(SimdBatchFixedDecoder&&) noexcept;
+
+    /// Lanes per batch block (== simd_backend_width()).
+    static int lanes() noexcept;
+
+    /// Decodes `frames` (1..lanes()) quantized frames stored back to back
+    /// (frame-major, each of size N) into out[0..frames). Result semantics
+    /// per frame are identical to MpDecoder::decode_into: per-lane early
+    /// stopping, iteration counts and hardened codewords match a scalar
+    /// decode of the same frame bit for bit. Unused lanes replicate frame 0
+    /// and are discarded. Allocation-free once `out` entries are sized.
+    void decode_into(std::span<const quant::QLLR> qllr, std::size_t frames, DecodeResult* out);
+
+    /// Runs exactly `iters` iterations on `frames` frames without early
+    /// stopping or hardening (throughput timing; message comparisons go
+    /// through c2v_messages).
+    void run_iterations(std::span<const quant::QLLR> qllr, std::size_t frames, int iters);
+
+    /// Extracts lane `frame`'s c2v message state in the canonical scalar
+    /// layout (diagnostics; allocates).
+    std::vector<quant::QLLR> c2v_messages(std::size_t frame) const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dvbs2::core

@@ -128,13 +128,12 @@ struct SimdFixedDecoder::Impl {
 
     // ----------------------------------------------------------- iteration
 
-    DecodeResult decode_values(const std::vector<QLLR>& ch) {
+    void decode_into(std::span<const QLLR> ch, DecodeResult& out) {
         const auto& cp = code_->params();
         DVBS2_REQUIRE(ch.size() == static_cast<std::size_t>(cp.n), "channel length mismatch");
         load_channel(ch);
         reset_state();
 
-        DecodeResult result;
         int it = 0;
         bool converged = false;
         for (; it < cfg_.max_iterations && !converged;) {
@@ -144,9 +143,9 @@ struct SimdFixedDecoder::Impl {
             const bool need_harden =
                 cfg_.early_stop || it == cfg_.max_iterations || static_cast<bool>(observer_);
             if (need_harden) {
-                harden(result.codeword);
+                harden(out.codeword);
                 if (observer_) {
-                    const util::BitVec syn = code_->syndrome(result.codeword);
+                    const util::BitVec syn = code_->syndrome(out.codeword);
                     IterationTrace trace;
                     trace.iteration = it;
                     trace.unsatisfied_checks = static_cast<int>(syn.count());
@@ -154,23 +153,25 @@ struct SimdFixedDecoder::Impl {
                     observer_(trace);
                     converged = cfg_.early_stop && trace.unsatisfied_checks == 0;
                 } else {
-                    converged = cfg_.early_stop && code_->is_codeword(result.codeword);
+                    converged = cfg_.early_stop && code_->is_codeword(out.codeword);
                 }
             }
         }
-        if (cfg_.max_iterations == 0) harden(result.codeword);
+        if (cfg_.max_iterations == 0) harden(out.codeword);
         if (!cfg_.early_stop && cfg_.max_iterations > 0)
-            converged = code_->is_codeword(result.codeword);
-        result.iterations = it;
-        result.converged = converged;
-        result.info_bits = util::BitVec(static_cast<std::size_t>(cp.k));
-        for (int v = 0; v < cp.k; ++v)
-            if (result.codeword.get(static_cast<std::size_t>(v)))
-                result.info_bits.set(static_cast<std::size_t>(v), true);
-        return result;
+            converged = code_->is_codeword(out.codeword);
+        out.iterations = it;
+        out.converged = converged;
+        const auto k = static_cast<std::size_t>(cp.k);
+        if (out.info_bits.size() != k)
+            out.info_bits = util::BitVec(k);
+        else
+            out.info_bits.clear();
+        for (std::size_t v = 0; v < k; ++v)
+            if (out.codeword.get(v)) out.info_bits.set(v, true);
     }
 
-    void run_iterations(const std::vector<QLLR>& ch, int iters) {
+    void run_iterations(std::span<const QLLR> ch, int iters) {
         const auto& cp = code_->params();
         DVBS2_REQUIRE(ch.size() == static_cast<std::size_t>(cp.n), "channel length mismatch");
         load_channel(ch);
@@ -181,7 +182,7 @@ struct SimdFixedDecoder::Impl {
         }
     }
 
-    void load_channel(const std::vector<QLLR>& ch) {
+    void load_channel(std::span<const QLLR> ch) {
         const auto& cp = code_->params();
         for (int v = 0; v < cp.k; ++v)
             ch_in_[static_cast<std::size_t>(v)] = ch[static_cast<std::size_t>(v)];
@@ -512,10 +513,16 @@ SimdFixedDecoder::SimdFixedDecoder(SimdFixedDecoder&&) noexcept = default;
 SimdFixedDecoder& SimdFixedDecoder::operator=(SimdFixedDecoder&&) noexcept = default;
 
 DecodeResult SimdFixedDecoder::decode_values(const std::vector<quant::QLLR>& ch) {
-    return impl_->decode_values(ch);
+    DecodeResult result;
+    impl_->decode_into(ch, result);
+    return result;
 }
 
-void SimdFixedDecoder::run_iterations(const std::vector<quant::QLLR>& ch, int iters) {
+void SimdFixedDecoder::decode_into(std::span<const quant::QLLR> ch, DecodeResult& out) {
+    impl_->decode_into(ch, out);
+}
+
+void SimdFixedDecoder::run_iterations(std::span<const quant::QLLR> ch, int iters) {
     impl_->run_iterations(ch, iters);
 }
 

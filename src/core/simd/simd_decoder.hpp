@@ -24,6 +24,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "code/tanner.hpp"
@@ -57,9 +58,13 @@ public:
     /// result semantics to MpDecoder::decode_values.
     DecodeResult decode_values(const std::vector<quant::QLLR>& ch);
 
+    /// Non-allocating variant into caller-owned result storage (identical
+    /// semantics to MpDecoder::decode_into, including the observer caveat).
+    void decode_into(std::span<const quant::QLLR> ch, DecodeResult& out);
+
     /// Runs exactly `iters` iterations without early stopping or hardening
     /// (for message-level bit-exactness comparisons).
-    void run_iterations(const std::vector<quant::QLLR>& ch, int iters);
+    void run_iterations(std::span<const quant::QLLR> ch, int iters);
 
     /// Read-only message state in the canonical (scalar-identical) layout.
     const std::vector<quant::QLLR>& c2v_messages() const noexcept;

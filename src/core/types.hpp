@@ -43,11 +43,31 @@ enum class DecoderBackend {
     /// Reference serial engine (core/mp_decoder.hpp); supports every
     /// schedule and the float arithmetic.
     Scalar,
-    /// Group-parallel SIMD engine (core/simd): vectorizes node processing
-    /// across the P independent functional units (one lane = one FU),
-    /// bit-exact with Scalar. Fixed-point only; supports TwoPhase and
-    /// ZigzagSegmented.
+    /// SIMD engine (core/simd), bit-exact with Scalar and fixed-point only.
+    /// Single frames run group-parallel (one lane = one FU per Eq. 2;
+    /// TwoPhase and ZigzagSegmented); batches run frame-parallel (one lane =
+    /// one frame; every schedule). See SimdLaneMode.
     Simd,
+};
+
+/// Lane mapping of the SIMD backend (ignored by DecoderBackend::Scalar).
+enum class SimdLaneMode {
+    /// Group-parallel for single-frame decodes, frame-per-lane for batches.
+    Auto,
+    /// Lane = functional unit for every call (batches decode frame by
+    /// frame). Requires TwoPhase or ZigzagSegmented.
+    GroupParallel,
+    /// Lane = frame for every call (a single-frame decode occupies one lane
+    /// of a batch block). Works with every schedule, including the ones the
+    /// group-parallel mapping cannot cover (ZigzagForward, ZigzagMap,
+    /// Layered); full throughput needs whole batches.
+    FramePerLane,
+};
+
+/// Message-domain arithmetic of a decoder engine (see core/engine.hpp).
+enum class Arithmetic {
+    Float,  ///< clamped double LLRs — the infinite-precision reference
+    Fixed,  ///< quantized integer LLRs — the hardware datapath model
 };
 
 /// Decoder configuration. Defaults reproduce the paper's operating point:
@@ -56,6 +76,7 @@ struct DecoderConfig {
     Schedule schedule = Schedule::ZigzagForward;
     CheckRule rule = CheckRule::Exact;
     DecoderBackend backend = DecoderBackend::Scalar;
+    SimdLaneMode lane_mode = SimdLaneMode::Auto;  ///< Simd backend only
     int max_iterations = 30;
     bool early_stop = true;        ///< stop once the syndrome is satisfied
     double normalization = 0.75;   ///< NormalizedMinSum scale factor
@@ -82,5 +103,7 @@ struct IterationTrace {
 const char* to_string(Schedule s);
 const char* to_string(CheckRule r);
 const char* to_string(DecoderBackend b);
+const char* to_string(SimdLaneMode m);
+const char* to_string(Arithmetic a);
 
 }  // namespace dvbs2::core

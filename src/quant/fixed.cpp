@@ -14,10 +14,18 @@ QLLR quantize(double llr, const QuantSpec& spec) noexcept {
     return static_cast<QLLR>(clamped > hi ? hi : clamped);
 }
 
-BoxplusTable::BoxplusTable(const QuantSpec& spec) : spec_(spec) {
-    DVBS2_REQUIRE(spec.total_bits >= 2 && spec.total_bits <= 16, "unsupported quantizer width");
+void validate_spec(const QuantSpec& spec) {
+    DVBS2_REQUIRE(spec.total_bits >= 2 && spec.total_bits <= 16,
+                  "quantizer total_bits must be in [2, 16], got " +
+                      std::to_string(spec.total_bits));
     DVBS2_REQUIRE(spec.frac_bits >= 0 && spec.frac_bits < spec.total_bits,
-                  "frac_bits must fit inside total_bits");
+                  "quantizer frac_bits must be in [0, total_bits), got frac_bits=" +
+                      std::to_string(spec.frac_bits) + " with total_bits=" +
+                      std::to_string(spec.total_bits));
+}
+
+BoxplusTable::BoxplusTable(const QuantSpec& spec) : spec_(spec) {
+    validate_spec(spec);
     // |a±b| ranges up to 2·max_raw; beyond the point where the correction
     // rounds to zero the table is not needed.
     const std::size_t len = static_cast<std::size_t>(2 * spec.max_raw() + 1);

@@ -45,6 +45,12 @@ inline constexpr QuantSpec kQuant6{6, 2};
 /// The 5-bit alternative discussed in Sec. 2.1: 5 bits, 1 fractional → ±7.5.
 inline constexpr QuantSpec kQuant5{5, 1};
 
+/// Validates a quantizer spec, throwing std::runtime_error with a diagnostic
+/// naming the offending field (`total_bits` / `frac_bits`) on violation.
+/// BoxplusTable construction and core::validate_engine_spec both route
+/// through this, so every fixed-point entry point rejects the same specs.
+void validate_spec(const QuantSpec& spec);
+
 /// Saturates a wide intermediate value into the representable raw range.
 constexpr QLLR saturate(QLLR wide, const QuantSpec& spec) noexcept {
     const QLLR hi = spec.max_raw();

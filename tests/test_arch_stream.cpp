@@ -2,6 +2,8 @@
 // model, and the decoder iteration-trace observer.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "arch/energy.hpp"
 #include "arch/mapping.hpp"
 #include "arch/stream.hpp"
@@ -93,6 +95,56 @@ TEST(Stream, RejectsBadConfig) {
     cfg.iterations = 0;
     EXPECT_THROW(da::simulate_stream(map, cfg, 2), std::runtime_error);
     EXPECT_THROW(da::simulate_stream(map, da::StreamConfig{}, 0), std::runtime_error);
+    da::StreamConfig bad_clock;
+    bad_clock.clock_hz = 0.0;
+    EXPECT_THROW(da::simulate_stream(map, bad_clock, 2), std::runtime_error);
+    bad_clock.clock_hz = -270e6;
+    EXPECT_THROW(da::simulate_stream(map, bad_clock, 2), std::runtime_error);
+}
+
+TEST(Stream, SingleFrameSteadyRateFallsBackToWholeRunRate) {
+    // With one frame there is no decode-done span to divide by; the report
+    // must fall back to K / total_time instead of dividing by zero.
+    const da::HardwareMapping map(toy_code());
+    da::StreamConfig cfg;
+    const auto rep = da::simulate_stream(map, cfg, 1);
+    ASSERT_GT(rep.total_cycles, 0);
+    const double expect = static_cast<double>(toy_code().k()) /
+                          (static_cast<double>(rep.total_cycles) / cfg.clock_hz);
+    EXPECT_DOUBLE_EQ(rep.steady_info_bps, expect);
+    EXPECT_TRUE(std::isfinite(rep.steady_info_bps));
+    EXPECT_GT(rep.steady_info_bps, 0.0);
+}
+
+TEST(Stream, TwoFrameSteadyRateUsesDecodeDoneSpan) {
+    // The smallest frame count with a steady state: the rate is one frame's
+    // K over the decode-done span between the two frames.
+    const da::HardwareMapping map(toy_code());
+    da::StreamConfig cfg;
+    const auto rep = da::simulate_stream(map, cfg, 2);
+    ASSERT_EQ(rep.frames.size(), 2u);
+    const long long span = rep.frames[1].decode_done - rep.frames[0].decode_done;
+    ASSERT_GT(span, 0);
+    const double expect = static_cast<double>(toy_code().k()) /
+                          (static_cast<double>(span) / cfg.clock_hz);
+    EXPECT_DOUBLE_EQ(rep.steady_info_bps, expect);
+}
+
+TEST(Stream, DecodeShorterThanIoStaysFiniteAndConsistent) {
+    // One cheap iteration against a wide-open input port: decoding is much
+    // shorter than I/O, the pipeline is I/O-bound, and every derived figure
+    // must stay finite and ordered (this is the regime where a zero or
+    // negative span would slip through without the fallback).
+    const da::HardwareMapping map(toy_code());
+    da::StreamConfig cfg;
+    cfg.iterations = 1;
+    cfg.io_parallelism = 1;  // io_cycles = N >> decode_cycles
+    const auto rep = da::simulate_stream(map, cfg, 4);
+    EXPECT_TRUE(std::isfinite(rep.steady_info_bps));
+    EXPECT_GT(rep.steady_info_bps, 0.0);
+    EXPECT_GT(rep.core_idle_cycles, 0);  // core waits on input
+    for (std::size_t n = 1; n < rep.frames.size(); ++n)
+        EXPECT_GE(rep.frames[n].decode_done, rep.frames[n - 1].decode_done);
 }
 
 // ----------------------------------------------------------------- energy
