@@ -29,6 +29,11 @@ Report lint_configuration(const code::CodeParams& params, const code::IraTables&
         }
         rep.merge(lint_schedule(mapping));
         rep.merge(lint_memory(mapping, opts.memory, opts.buffer_depth));
+        DataflowOptions dopts;
+        dopts.memory = opts.memory;
+        dopts.buffer_depth = opts.buffer_depth;
+        dopts.schedule = opts.decoder.schedule;
+        rep.merge(lint_dataflow(code, mapping, dopts));
     } catch (const std::exception& e) {
         // The lint rules above are meant to pre-empt every constructor
         // requirement; reaching this means a rule gap, so surface it loudly.

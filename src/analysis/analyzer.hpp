@@ -9,6 +9,7 @@
 
 #include "analysis/diag.hpp"
 #include "analysis/lint_code.hpp"
+#include "analysis/lint_dataflow.hpp"
 #include "analysis/lint_memory.hpp"
 #include "analysis/lint_range.hpp"
 #include "analysis/lint_schedule.hpp"

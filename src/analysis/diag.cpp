@@ -1,5 +1,6 @@
 #include "analysis/diag.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace dvbs2::analysis {
@@ -46,14 +47,45 @@ std::vector<Diagnostic> Report::by_rule(const std::string& rule) const {
     return out;
 }
 
+bool rule_in_family(const std::string& rule, const std::string& family) {
+    if (family.empty() || rule.size() < family.size()) return false;
+    if (rule.compare(0, family.size(), family) != 0) return false;
+    return rule.size() == family.size() || rule[family.size()] == '.';
+}
+
+std::vector<Diagnostic> Report::by_family(const std::string& family) const {
+    std::vector<Diagnostic> out;
+    for (const auto& d : diags_)
+        if (rule_in_family(d.rule, family)) out.push_back(d);
+    return out;
+}
+
 bool Report::has(const std::string& rule) const {
     for (const auto& d : diags_)
         if (d.rule == rule) return true;
     return false;
 }
 
+namespace {
+
+/// Deterministic render order: stable sort by (rule, location), so equal
+/// keys keep their insertion order and output is byte-stable across runs.
+std::vector<const Diagnostic*> render_order(const Report& report) {
+    std::vector<const Diagnostic*> out;
+    out.reserve(report.diagnostics().size());
+    for (const auto& d : report.diagnostics()) out.push_back(&d);
+    std::stable_sort(out.begin(), out.end(), [](const Diagnostic* a, const Diagnostic* b) {
+        if (a->rule != b->rule) return a->rule < b->rule;
+        return a->location < b->location;
+    });
+    return out;
+}
+
+}  // namespace
+
 void render_text(std::ostream& os, const Report& report) {
-    for (const auto& d : report.diagnostics()) {
+    for (const Diagnostic* dp : render_order(report)) {
+        const Diagnostic& d = *dp;
         os << to_string(d.severity) << ' ' << d.rule;
         if (!d.location.empty()) os << " [" << d.location << ']';
         os << ": " << d.message;
@@ -90,7 +122,8 @@ void json_escape(std::ostream& os, const std::string& s) {
 void render_json(std::ostream& os, const Report& report) {
     os << "{\n  \"diagnostics\": [";
     bool first = true;
-    for (const auto& d : report.diagnostics()) {
+    for (const Diagnostic* dp : render_order(report)) {
+        const Diagnostic& d = *dp;
         os << (first ? "\n" : ",\n") << "    {\"rule\": ";
         json_escape(os, d.rule);
         os << ", \"severity\": ";

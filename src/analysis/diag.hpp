@@ -49,6 +49,9 @@ public:
 
     /// Findings whose rule id matches `rule` exactly.
     std::vector<Diagnostic> by_rule(const std::string& rule) const;
+    /// Findings whose rule id is `family` or lives under it ("mem" matches
+    /// "mem.config" but not "memory.config"); see rule_in_family.
+    std::vector<Diagnostic> by_family(const std::string& family) const;
     /// True iff at least one finding has rule id `rule`.
     bool has(const std::string& rule) const;
 
@@ -56,11 +59,20 @@ private:
     std::vector<Diagnostic> diags_;
 };
 
+/// Segment-aware family-prefix match: true iff `rule` equals `family` or
+/// starts with `family` followed by a '.' — so "sched" does not claim the
+/// "schedule.dataflow.*" rules. Backs Report::by_family and the CLI's
+/// --only= filter.
+bool rule_in_family(const std::string& rule, const std::string& family);
+
 /// Renders one finding per line: "severity rule [location] message (hint)".
+/// Findings are ordered deterministically (stable sort by rule, then
+/// location), so output is byte-stable regardless of rule execution order.
 void render_text(std::ostream& os, const Report& report);
 
 /// Renders the report as a JSON array of finding objects plus a summary
-/// object — the machine-readable interface of the CLI.
+/// object — the machine-readable interface of the CLI. Same deterministic
+/// ordering as render_text, making the JSON usable in golden tests.
 void render_json(std::ostream& os, const Report& report);
 
 }  // namespace dvbs2::analysis

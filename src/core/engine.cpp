@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/ir/analyses.hpp"
 #include "core/arith.hpp"
 #include "core/mp_decoder.hpp"
 #include "core/simd/batch_decoder.hpp"
@@ -39,14 +40,25 @@ void validate_engine_spec(const EngineSpec& spec) {
     } else {
         quant::validate_spec(spec.quant);
     }
-    if (c.backend == DecoderBackend::Simd && c.lane_mode != SimdLaneMode::FramePerLane) {
-        DVBS2_REQUIRE(c.schedule == Schedule::TwoPhase ||
-                          c.schedule == Schedule::ZigzagSegmented,
-                      std::string("backend=simd with lane_mode=") + to_string(c.lane_mode) +
-                          " (group-parallel lanes) supports schedule=two-phase and "
-                          "schedule=zigzag-segmented, got schedule=" + to_string(c.schedule) +
-                          "; use lane_mode=frame-per-lane (one lane per frame) to run this "
-                          "schedule on the SIMD backend");
+    if (c.backend == DecoderBackend::Simd) {
+        // Legality is derived, not hardcoded: the dataflow IR classifies each
+        // schedule by tracing its def/use dependences (analysis/ir). The
+        // group-parallel mapping needs every same-phase dependence to stay
+        // inside one lane and respect the lockstep step order.
+        const auto& cls = analysis::ir::classify_schedule(c.schedule);
+        if (c.lane_mode != SimdLaneMode::FramePerLane) {
+            DVBS2_REQUIRE(cls.group_parallel_legal,
+                          std::string("backend=simd with lane_mode=") + to_string(c.lane_mode) +
+                              " (group-parallel lanes) cannot run schedule=" +
+                              to_string(c.schedule) + ": " + cls.group_parallel_obstruction +
+                              "; use lane_mode=frame-per-lane (one lane per frame) to run this "
+                              "schedule on the SIMD backend");
+        } else {
+            DVBS2_REQUIRE(cls.frame_per_lane_legal,
+                          std::string("backend=simd with lane_mode=frame-per-lane cannot run "
+                                      "schedule=") +
+                              to_string(c.schedule) + ": the schedule shares state across frames");
+        }
     }
 }
 

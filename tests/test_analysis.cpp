@@ -366,3 +366,131 @@ TEST(Diagnostics, TextAndJsonRendering) {
     EXPECT_NE(json.str().find("\\\"here\\\""), std::string::npos);
     EXPECT_NE(json.str().find("\"errors\": 1"), std::string::npos);
 }
+
+TEST(Diagnostics, FamilyPrefixMatchingIsSegmentAware) {
+    EXPECT_TRUE(da::rule_in_family("mem.config", "mem"));
+    EXPECT_TRUE(da::rule_in_family("schedule.dataflow.ports", "schedule.dataflow"));
+    EXPECT_TRUE(da::rule_in_family("schedule.dataflow.ports", "schedule.dataflow.ports"));
+    EXPECT_FALSE(da::rule_in_family("schedule.dataflow.ports", "sched"))
+        << "a family must match whole segments, not raw prefixes";
+    EXPECT_FALSE(da::rule_in_family("memory.config", "mem"));
+    EXPECT_FALSE(da::rule_in_family("mem", "mem.config"));
+    EXPECT_FALSE(da::rule_in_family("anything", ""));
+
+    da::Report rep;
+    rep.add("sched.read-once", da::Severity::Note, "", "a");
+    rep.add("schedule.dataflow.ports", da::Severity::Note, "", "b");
+    rep.add("schedule.dataflow.liveness", da::Severity::Note, "", "c");
+    EXPECT_EQ(rep.by_family("schedule.dataflow").size(), 2u);
+    EXPECT_EQ(rep.by_family("sched").size(), 1u);
+    EXPECT_EQ(rep.by_family("schedule").size(), 2u);
+}
+
+TEST(Diagnostics, RenderingOrderIsDeterministic) {
+    // Two reports with the same findings in different insertion order must
+    // render byte-identically (stable sort by rule, then location).
+    da::Report a;
+    a.add("z.rule", da::Severity::Note, "loc 2", "m1");
+    a.add("a.rule", da::Severity::Note, "loc 9", "m2");
+    a.add("z.rule", da::Severity::Note, "loc 1", "m3");
+    da::Report b;
+    b.add("z.rule", da::Severity::Note, "loc 1", "m3");
+    b.add("z.rule", da::Severity::Note, "loc 2", "m1");
+    b.add("a.rule", da::Severity::Note, "loc 9", "m2");
+    std::ostringstream ta, tb, ja, jb;
+    da::render_text(ta, a);
+    da::render_text(tb, b);
+    EXPECT_EQ(ta.str(), tb.str());
+    da::render_json(ja, a);
+    da::render_json(jb, b);
+    EXPECT_EQ(ja.str(), jb.str());
+    // And the sorted order itself: a.rule first, then z.rule by location.
+    EXPECT_LT(ta.str().find("a.rule"), ta.str().find("z.rule [loc 1]"));
+    EXPECT_LT(ta.str().find("z.rule [loc 1]"), ta.str().find("z.rule [loc 2]"));
+}
+
+TEST(Diagnostics, JsonEscapingOfSpecialCharacters) {
+    da::Report rep;
+    rep.add("x.esc", da::Severity::Warning, "path\\to\"file\"",
+            "line1\nline2\ttabbed\rcarriage", "caf\xc3\xa9 \xe2\x86\x92 fix");
+    std::ostringstream os;
+    da::render_json(os, rep);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"path\\\\to\\\"file\\\"\""), std::string::npos) << json;
+    EXPECT_NE(json.find("line1\\nline2\\ttabbed\\u000dcarriage"), std::string::npos) << json;
+    // Non-ASCII UTF-8 passes through byte-for-byte.
+    EXPECT_NE(json.find("caf\xc3\xa9 \xe2\x86\x92 fix"), std::string::npos) << json;
+    // No raw control characters may survive in the output.
+    for (char c : json) EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n');
+}
+
+// ------------------------------------------------- schedule.dataflow.* --
+
+TEST(LintDataflow, ShippedToyConfigurationReportsTheProofNotes) {
+    da::LintOptions opts;
+    opts.anneal.iterations = 800;
+    const auto rep = da::lint_configuration(toy(), opts);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_TRUE(rep.has("schedule.dataflow.read-once"));
+    EXPECT_TRUE(rep.has("schedule.dataflow.ports"));
+    EXPECT_TRUE(rep.has("schedule.dataflow.parallelism"));
+    EXPECT_TRUE(rep.has("schedule.dataflow.simd-legal"));
+    ASSERT_TRUE(rep.has("schedule.dataflow.liveness"));
+    // toy(): P=12, q=7 -> m=84. Zigzag keeps 85 parity words, flooding 167.
+    const auto live = rep.by_rule("schedule.dataflow.liveness");
+    EXPECT_NE(live[0].message.find("parity 85"), std::string::npos) << live[0].message;
+    EXPECT_NE(live[0].message.find("reference 167"), std::string::npos) << live[0].message;
+    EXPECT_NE(live[0].message.find("zigzag halving verified (85 vs 167)"), std::string::npos)
+        << live[0].message;
+}
+
+TEST(LintDataflow, CorruptSlotStreamTripsTheDataflowRules) {
+    const dc::Dvbs2Code code(toy());
+    const dr::HardwareMapping mapping(code);
+    auto model = da::make_schedule_model(mapping);
+    da::DataflowOptions opts;
+
+    // Clean model proves clean (plus notes).
+    EXPECT_TRUE(da::lint_dataflow(model, opts).clean());
+
+    // Swap the first slot runs of FU-local CN 0 and CN 1: completion order
+    // inverts and the serial windows interleave.
+    auto swapped = model;
+    for (int t = 0; t < model.slots_per_cn; ++t)
+        std::swap(swapped.slots[static_cast<std::size_t>(t)],
+                  swapped.slots[static_cast<std::size_t>(model.slots_per_cn + t)]);
+    const auto rep = da::lint_dataflow(swapped, opts);
+    EXPECT_TRUE(rep.has("schedule.dataflow.order"));
+    EXPECT_FALSE(rep.clean());
+
+    // Point two slots at one address: read-once breaks both ways.
+    auto doubled = model;
+    doubled.slots[1].addr = doubled.slots[0].addr;
+    const auto rep2 = da::lint_dataflow(doubled, opts);
+    EXPECT_TRUE(rep2.has("schedule.dataflow.read-once"));
+    EXPECT_EQ(rep2.by_rule("schedule.dataflow.read-once").size(), 2u);
+
+    // Degenerate model is rejected, not crashed on.
+    EXPECT_TRUE(da::lint_dataflow(da::ScheduleModel{}, opts).has("schedule.dataflow.config"));
+}
+
+TEST(LintDataflow, DataflowPortNumbersAgreeWithMemProof) {
+    // The schedule.dataflow.ports numbers come from the same drain recurrence
+    // as mem.conflict-proof; both notes must quote the same peak.
+    da::LintOptions opts;
+    opts.run_anneal = false;
+    const auto rep = da::lint_configuration(toy(), opts);
+    const auto mem = rep.by_rule("mem.conflict-proof");
+    const auto ports = rep.by_rule("schedule.dataflow.ports");
+    ASSERT_EQ(mem.size(), 2u);
+    ASSERT_EQ(ports.size(), 2u);
+    for (const auto& m : mem) {
+        const std::string peak = m.message.substr(0, m.message.find(" of "));
+        bool matched = false;
+        for (const auto& p : ports)
+            if (p.location == m.location &&
+                p.message.find(peak.substr(peak.find("peak "))) != std::string::npos)
+                matched = true;
+        EXPECT_TRUE(matched) << m.location << ": " << m.message;
+    }
+}

@@ -11,6 +11,7 @@
 //   dvbs2_lint --rate=1/2 --format=json           # machine-readable output
 //   dvbs2_lint --table=my.tbl --rate=1/2          # external table file
 //   dvbs2_lint --rate=3/4 --check-rule=offset --offset=8.0   # bad config demo
+//   dvbs2_lint --rate=1/2 --only=schedule.dataflow   # one rule family only
 
 #include <fstream>
 #include <iostream>
@@ -59,6 +60,7 @@ int usage(const std::string& msg) {
     std::cerr << "dvbs2_lint: " << msg << "\n"
               << "usage: dvbs2_lint [--rate=all|1/4|...|9/10] [--frame=long|short|both]\n"
               << "                  [--table=FILE] [--format=text|json]\n"
+              << "                  [--only=FAMILY[,FAMILY...]] (family or family.rule prefix)\n"
               << "                  [--banks=N] [--writes=N] [--latency=N] [--buffer-depth=N]\n"
               << "                  [--no-anneal] [--bits=N --frac=N]\n"
               << "                  [--schedule=S] [--check-rule=R] [--normalization=X] "
@@ -66,13 +68,43 @@ int usage(const std::string& msg) {
     return 2;
 }
 
+/// Splits the --only= argument at commas; empty segments are dropped.
+std::vector<std::string> parse_only(const std::string& arg) {
+    std::vector<std::string> families;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+        const std::size_t comma = arg.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? arg.size() : comma;
+        if (end > pos) families.push_back(arg.substr(pos, end - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return families;
+}
+
+/// Keeps only findings whose rule id falls under one of `families`
+/// (segment-aware prefix match, so --only=sched does not pull in
+/// schedule.dataflow.*). The filtered report also drives the exit status.
+analysis::Report filter_report(const analysis::Report& rep,
+                               const std::vector<std::string>& families) {
+    if (families.empty()) return rep;
+    analysis::Report out;
+    for (const analysis::Diagnostic& d : rep.diagnostics())
+        for (const std::string& f : families)
+            if (analysis::rule_in_family(d.rule, f)) {
+                out.add(d);
+                break;
+            }
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     try {
         util::CliArgs args(argc, argv,
-                           {"rate", "frame", "table", "format", "banks", "writes", "latency",
-                            "buffer-depth", "no-anneal", "bits", "frac", "schedule",
+                           {"rate", "frame", "table", "format", "only", "banks", "writes",
+                            "latency", "buffer-depth", "no-anneal", "bits", "frac", "schedule",
                             "check-rule", "normalization", "offset", "quiet"});
 
         analysis::LintOptions opts;
@@ -103,6 +135,8 @@ int main(int argc, char** argv) {
         const std::string format = args.get("format", "text");
         if (format != "text" && format != "json") return usage("unknown --format");
         const bool quiet = args.has("quiet");
+        const std::vector<std::string> only = parse_only(args.get("only", ""));
+        if (args.has("only") && only.empty()) return usage("--only needs at least one family");
 
         // --- assemble lint targets ---
         const std::string rate_arg = args.get("rate", "all");
@@ -146,9 +180,10 @@ int main(int argc, char** argv) {
         bool first_json = true;
         if (format == "json") std::cout << "[\n";
         for (const Target& t : targets) {
-            const analysis::Report rep =
+            const analysis::Report rep = filter_report(
                 t.tables ? analysis::lint_configuration(t.params, *t.tables, opts)
-                         : analysis::lint_configuration(t.params, opts);
+                         : analysis::lint_configuration(t.params, opts),
+                only);
             errors += rep.error_count();
             if (format == "json") {
                 if (!first_json) std::cout << ",\n";
