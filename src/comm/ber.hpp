@@ -4,7 +4,9 @@
 // Eb/N0 points, with early stopping once enough error events are observed.
 // The decoder is injected as a callback so the harness works with the
 // floating-point decoder, the fixed-point decoder and the cycle-driven
-// architecture model alike (and stays free of a dependency on core/arch).
+// architecture model alike (no dependency on the core decoders or the arch
+// model — only on the plain core::ConvergenceStats telemetry value type,
+// which every decode path feeds).
 //
 // Determinism contract (also the parallel engine's, see comm/parallel.hpp):
 // every random quantity is a pure function of logical coordinates, never of
@@ -28,6 +30,7 @@
 
 #include "code/tanner.hpp"
 #include "comm/modem.hpp"
+#include "core/types.hpp"
 #include "enc/encoder.hpp"
 #include "util/bitvec.hpp"
 
@@ -64,6 +67,12 @@ struct BerPoint {
     /// codes at N = 64800 they are rare.
     std::uint64_t undetected_frame_errors = 0;
     double avg_iterations = 0.0;
+    /// Iteration-count histogram and convergence counts over the measured
+    /// frames (the same frames the error counts cover). Deterministic for
+    /// any thread count — the per-frame iteration counts are pure functions
+    /// of frame indices and the batch-prefix stop rule, like every other
+    /// field. convergence.mean_iterations() == avg_iterations.
+    core::ConvergenceStats convergence;
 
     double ber(std::uint64_t info_bits_per_frame) const {
         const auto total = frames * info_bits_per_frame;

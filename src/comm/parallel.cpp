@@ -26,6 +26,7 @@ struct Tally {
     std::uint64_t frame_errors = 0;
     std::uint64_t undetected = 0;
     std::uint64_t iter_sum = 0;
+    core::ConvergenceStats conv;
 
     void merge(const Tally& o) {
         frames += o.frames;
@@ -33,6 +34,7 @@ struct Tally {
         frame_errors += o.frame_errors;
         undetected += o.undetected;
         iter_sum += o.iter_sum;
+        conv.merge(o.conv);
     }
 };
 
@@ -54,6 +56,7 @@ void tally_frame(Tally& t, const util::BitVec& tx_info, const util::BitVec& rx_i
         if (converged) ++t.undetected;
     }
     t.iter_sum += static_cast<std::uint64_t>(iterations > 0 ? iterations : 0);
+    t.conv.record(iterations, converged);
     ++t.frames;
 }
 
@@ -242,6 +245,7 @@ BerPoint simulate_point_impl(const code::Dvbs2Code& code, const BatchFactory& ma
     pt.avg_iterations = pt.frames ? static_cast<double>(red.prefix.iter_sum) /
                                         static_cast<double>(pt.frames)
                                   : 0.0;
+    pt.convergence = red.prefix.conv;
 
     if (cfg.progress) {
         SimProgress p;

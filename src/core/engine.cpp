@@ -66,19 +66,43 @@ void validate_engine_spec(const EngineSpec& spec) {
 
 Engine::~Engine() = default;
 
-void Engine::decode_raw_into(std::span<const quant::QLLR> /*qllr*/, DecodeResult& /*out*/) {
+void Engine::record(const DecodeResult& r) {
+    // Lazily sized on the first recorded frame: config() is virtual, so the
+    // base constructor cannot call it. reserve_iterations presizes the
+    // histogram to 0..max_iterations, making steady-state record() calls
+    // allocation-free (pinned by tests/test_alloc.cpp).
+    if (stats_.histogram.empty()) stats_.reserve_iterations(config().max_iterations);
+    stats_.record(r.iterations, r.converged);
+}
+
+void Engine::decode_into(std::span<const double> llr, DecodeResult& out) {
+    do_decode_into(llr, out);
+    record(out);
+}
+
+void Engine::decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) {
+    do_decode_raw_into(qllr, out);
+    record(out);
+}
+
+void Engine::decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) {
+    do_decode_batch(llrs, out);
+    for (const DecodeResult& r : out) record(r);
+}
+
+void Engine::do_decode_raw_into(std::span<const quant::QLLR> /*qllr*/, DecodeResult& /*out*/) {
     throw std::runtime_error(std::string("decode_raw_into requires a fixed-point engine "
                                          "(this engine's arithmetic is ") +
                              to_string(arithmetic()) + ")");
 }
 
-void Engine::decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) {
+void Engine::do_decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) {
     const std::size_t b = out.size();
     DVBS2_REQUIRE(b > 0, "decode_batch needs at least one result slot");
     DVBS2_REQUIRE(llrs.size() % b == 0,
                   "batch LLR length must be frame-count * frame-length");
     const std::size_t n = llrs.size() / b;
-    for (std::size_t f = 0; f < b; ++f) decode_into(llrs.subspan(f * n, n), out[f]);
+    for (std::size_t f = 0; f < b; ++f) do_decode_into(llrs.subspan(f * n, n), out[f]);
 }
 
 DecodeResult Engine::decode(std::span<const double> llr) {
@@ -109,13 +133,14 @@ std::vector<quant::QLLR> Engine::run_and_dump_c2v(std::span<const quant::QLLR> /
 namespace {
 
 /// Engine-owned staging reused across calls: `staging` holds one converted
-/// frame, `block` a lane-count batch block (SIMD engine only). Message
-/// memories live inside the wrapped decoders and persist the same way;
-/// together they are the reason steady-state decode calls allocate nothing.
+/// frame. Message memories live inside the wrapped decoders and persist the
+/// same way; together they are the reason steady-state decode calls
+/// allocate nothing. (The SIMD engine no longer stages whole batch blocks:
+/// decode_stream pulls frames one at a time through a quantizing source
+/// callback as lanes free up.)
 template <class T>
 struct DecodeWorkspace {
     std::vector<T> staging;
-    std::vector<T> block;
 };
 
 class FloatEngine final : public Engine {
@@ -127,16 +152,6 @@ public:
         ws_.staging.resize(static_cast<std::size_t>(code.n()));
     }
 
-    void decode_into(std::span<const double> llr, DecodeResult& out) override {
-        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
-        for (std::size_t i = 0; i < llr.size(); ++i) {
-            DVBS2_REQUIRE(std::isfinite(llr[i]),
-                          "non-finite channel LLR at index " + std::to_string(i));
-            ws_.staging[i] = util::clamp_llr(llr[i]);
-        }
-        mp_.decode_into(ws_.staging, out);
-    }
-
     void set_observer(std::function<void(const IterationTrace&)> observer) override {
         mp_.set_observer(std::move(observer));
     }
@@ -146,6 +161,17 @@ public:
     std::string backend_name() const override { return "float-scalar"; }
 
     void set_cn_order(std::vector<int> order) override { mp_.set_cn_order(std::move(order)); }
+
+protected:
+    void do_decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+            DVBS2_REQUIRE(std::isfinite(llr[i]),
+                          "non-finite channel LLR at index " + std::to_string(i));
+            ws_.staging[i] = util::clamp_llr(llr[i]);
+        }
+        mp_.decode_into(ws_.staging, out);
+    }
 
 private:
     EngineSpec spec_;
@@ -165,20 +191,6 @@ public:
         ws_.staging.resize(static_cast<std::size_t>(code.n()));
     }
 
-    void decode_into(std::span<const double> llr, DecodeResult& out) override {
-        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
-        for (std::size_t i = 0; i < llr.size(); ++i) {
-            DVBS2_REQUIRE(std::isfinite(llr[i]),
-                          "non-finite channel LLR at index " + std::to_string(i));
-            ws_.staging[i] = quant::quantize(llr[i], spec_.quant);
-        }
-        mp_.decode_into(ws_.staging, out);
-    }
-
-    void decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) override {
-        mp_.decode_into(qllr, out);
-    }
-
     void set_observer(std::function<void(const IterationTrace&)> observer) override {
         mp_.set_observer(std::move(observer));
     }
@@ -194,6 +206,21 @@ public:
                                               int iters) override {
         mp_.run_iterations(qllr, iters);
         return mp_.c2v_messages();
+    }
+
+protected:
+    void do_decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+            DVBS2_REQUIRE(std::isfinite(llr[i]),
+                          "non-finite channel LLR at index " + std::to_string(i));
+            ws_.staging[i] = quant::quantize(llr[i], spec_.quant);
+        }
+        mp_.decode_into(ws_.staging, out);
+    }
+
+    void do_decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) override {
+        mp_.decode_into(qllr, out);
     }
 
 private:
@@ -212,42 +239,9 @@ public:
         const auto n = static_cast<std::size_t>(code.n());
         if (spec.config.lane_mode != SimdLaneMode::FramePerLane)
             group_ = std::make_unique<SimdFixedDecoder>(code, spec.config, spec.quant);
-        if (spec.config.lane_mode != SimdLaneMode::GroupParallel) {
+        if (spec.config.lane_mode != SimdLaneMode::GroupParallel)
             batch_ = std::make_unique<SimdBatchFixedDecoder>(code, spec.config, spec.quant);
-            ws_.block.resize(n * static_cast<std::size_t>(SimdBatchFixedDecoder::lanes()));
-        }
         ws_.staging.resize(n);
-    }
-
-    void decode_into(std::span<const double> llr, DecodeResult& out) override {
-        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
-        quantize_range(llr, ws_.staging.data());
-        decode_raw_single(ws_.staging, out);
-    }
-
-    void decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) override {
-        DVBS2_REQUIRE(qllr.size() == ws_.staging.size(), "channel length mismatch");
-        decode_raw_single(qllr, out);
-    }
-
-    void decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) override {
-        const std::size_t b = out.size();
-        const std::size_t n = ws_.staging.size();
-        DVBS2_REQUIRE(b > 0, "decode_batch needs at least one result slot");
-        DVBS2_REQUIRE(llrs.size() == b * n, "batch LLR length must be frame-count * N");
-        if (!batch_ || has_observer_) {
-            // Group-parallel lane mode, or tracing: decode frame by frame so
-            // observers see one frame's iterations at a time, in order.
-            for (std::size_t f = 0; f < b; ++f) decode_into(llrs.subspan(f * n, n), out[f]);
-            return;
-        }
-        const auto lanes = static_cast<std::size_t>(SimdBatchFixedDecoder::lanes());
-        for (std::size_t f = 0; f < b; f += lanes) {
-            const std::size_t cnt = std::min(lanes, b - f);
-            quantize_range(llrs.subspan(f * n, cnt * n), ws_.block.data());
-            batch_->decode_into(std::span<const quant::QLLR>(ws_.block.data(), cnt * n), cnt,
-                                &out[f]);
-        }
     }
 
     void set_observer(std::function<void(const IterationTrace&)> observer) override {
@@ -266,7 +260,11 @@ public:
         return std::string("fixed-simd(") + simd_backend_name() + ")";
     }
     int preferred_batch() const noexcept override {
-        return batch_ ? SimdBatchFixedDecoder::lanes() : 1;
+        // Several lane blocks per call, not one: lane compaction only has
+        // frames to splice into retired lanes when the batch outnumbers the
+        // lanes, so a deeper preferred batch is what converts per-lane early
+        // termination into throughput (see decode_stream).
+        return batch_ ? 4 * SimdBatchFixedDecoder::lanes() : 1;
     }
 
     std::vector<quant::QLLR> run_and_dump_c2v(std::span<const quant::QLLR> qllr,
@@ -279,7 +277,51 @@ public:
         return batch_->c2v_messages(0);
     }
 
+protected:
+    void do_decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        quantize_range(llr, ws_.staging.data());
+        decode_raw_single(ws_.staging, out);
+    }
+
+    void do_decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) override {
+        DVBS2_REQUIRE(qllr.size() == ws_.staging.size(), "channel length mismatch");
+        decode_raw_single(qllr, out);
+    }
+
+    void do_decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) override {
+        const std::size_t b = out.size();
+        const std::size_t n = ws_.staging.size();
+        DVBS2_REQUIRE(b > 0, "decode_batch needs at least one result slot");
+        DVBS2_REQUIRE(llrs.size() == b * n, "batch LLR length must be frame-count * N");
+        if (!batch_ || has_observer_) {
+            // Group-parallel lane mode, or tracing: decode frame by frame so
+            // observers see one frame's iterations at a time, in order.
+            for (std::size_t f = 0; f < b; ++f) do_decode_into(llrs.subspan(f * n, n), out[f]);
+            return;
+        }
+        // One decode_stream over the whole batch: frames are quantized on
+        // demand as lanes claim them, and retired lanes are refilled from
+        // the pending frames (lane compaction), so a mixed-convergence batch
+        // never leaves lanes idle while frames wait.
+        StreamCtx ctx{this, llrs.data(), n};
+        batch_->decode_stream(b, &SimdEngine::quantize_frame, &ctx, out.data());
+    }
+
 private:
+    /// decode_stream frame source: quantizes frame `f` out of the caller's
+    /// LLR block on demand (captureless, so it converts to the plain
+    /// function pointer the allocation-free stream API takes).
+    struct StreamCtx {
+        SimdEngine* self;
+        const double* llrs;
+        std::size_t n;
+    };
+    static void quantize_frame(void* c, std::size_t f, quant::QLLR* dst) {
+        auto* s = static_cast<StreamCtx*>(c);
+        s->self->quantize_range(std::span<const double>(s->llrs + f * s->n, s->n), dst);
+    }
+
     void quantize_range(std::span<const double> llr, quant::QLLR* dst) {
         for (std::size_t i = 0; i < llr.size(); ++i) {
             DVBS2_REQUIRE(std::isfinite(llr[i]),

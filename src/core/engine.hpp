@@ -59,21 +59,38 @@ public:
     virtual ~Engine();
 
     /// Decodes one frame of channel LLRs into caller-owned result storage
-    /// (allocation-free once `out` is sized; see file header).
-    virtual void decode_into(std::span<const double> llr, DecodeResult& out) = 0;
+    /// (allocation-free once `out` is sized; see file header). Non-virtual:
+    /// wraps the backend's do_decode_into and records the frame into the
+    /// engine's ConvergenceStats, so the telemetry is structural — every
+    /// backend, current or future, feeds it without opting in.
+    void decode_into(std::span<const double> llr, DecodeResult& out);
 
     /// Fixed-point engines decode already-quantized raw values; float
     /// engines throw std::runtime_error.
-    virtual void decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out);
+    void decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out);
 
     /// Decodes `out.size()` frames stored back to back in `llrs`. Results
     /// are bit-identical to per-frame decode_into calls (pinned by
-    /// tests/test_engine.cpp); backends amortize setup and may execute
-    /// frames in parallel lanes. The base implementation loops decode_into.
-    virtual void decode_batch(std::span<const double> llrs, std::span<DecodeResult> out);
+    /// tests/test_engine.cpp and tests/test_convergence.cpp); backends
+    /// amortize setup, execute frames in parallel lanes, and refill lanes
+    /// from pending frames as lanes converge (lane compaction in the SIMD
+    /// engine). The base implementation loops do_decode_into.
+    void decode_batch(std::span<const double> llrs, std::span<DecodeResult> out);
 
     /// Convenience allocating wrapper over decode_into.
     DecodeResult decode(std::span<const double> llr);
+
+    /// Aggregate convergence telemetry over every frame decoded by this
+    /// engine since construction (or the last reset_convergence):
+    /// iteration-count histogram, converged-frame count, mean iterations.
+    /// Recorded by the public decode entry points themselves, so it is
+    /// identical across backends whenever the per-frame results are —
+    /// which the convergence tier pins. Allocation-free in steady state
+    /// (the histogram is sized to max_iterations on first use).
+    const ConvergenceStats& convergence() const noexcept { return stats_; }
+
+    /// Zeroes the telemetry (keeps the histogram storage).
+    void reset_convergence() noexcept { stats_.reset(); }
 
     /// Installs a per-iteration diagnostics observer (empty disables).
     /// Observers must not change any decode result; batched calls fall back
@@ -104,6 +121,24 @@ public:
     /// returns the c2v message state (fixed-point engines only).
     virtual std::vector<quant::QLLR> run_and_dump_c2v(std::span<const quant::QLLR> qllr,
                                                       int iters);
+
+protected:
+    // --- backend implementation points (template-method pattern): the
+    // --- public decode calls wrap these and record convergence telemetry ---
+
+    /// Decodes one frame (the only hook a backend must implement).
+    virtual void do_decode_into(std::span<const double> llr, DecodeResult& out) = 0;
+
+    /// Default throws: raw quantized input needs a fixed-point engine.
+    virtual void do_decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out);
+
+    /// Default loops do_decode_into frame by frame.
+    virtual void do_decode_batch(std::span<const double> llrs, std::span<DecodeResult> out);
+
+private:
+    void record(const DecodeResult& r);
+
+    ConvergenceStats stats_;
 };
 
 /// Registry key: which builder constructs the engine. Schedule, rule,

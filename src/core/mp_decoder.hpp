@@ -21,6 +21,7 @@
 
 #include "code/tanner.hpp"
 #include "core/kernels.hpp"
+#include "core/syndrome.hpp"
 #include "core/types.hpp"
 #include "util/error.hpp"
 
@@ -72,8 +73,12 @@ public:
     }
 
     /// Installs a per-iteration observer (empty function disables tracing).
-    /// Tracing hardens and computes the syndrome every iteration, so it
-    /// costs O(N + E) per iteration even without early stopping.
+    /// Convergence checks go through the shared core/syndrome.hpp routine:
+    /// without an observer it runs the allocation-free early-exit walk, and
+    /// only when early stopping or the final iteration needs a verdict; with
+    /// an observer it hardens every iteration and switches the routine to
+    /// counting mode (full O(E) syndrome weight, allocates the syndrome
+    /// vector) because traces report the exact unsatisfied-check count.
     void set_observer(std::function<void(const IterationTrace&)> observer) {
         observer_ = std::move(observer);
     }
@@ -100,22 +105,21 @@ public:
                 cfg_.early_stop || it == cfg_.max_iterations || static_cast<bool>(observer_);
             if (need_harden) {
                 harden(out.codeword);
+                const SyndromeOutcome syn =
+                    check_syndrome(*code_, out.codeword, static_cast<bool>(observer_));
                 if (observer_) {
-                    const util::BitVec syn = code_->syndrome(out.codeword);
                     IterationTrace trace;
                     trace.iteration = it;
-                    trace.unsatisfied_checks = static_cast<int>(syn.count());
+                    trace.unsatisfied_checks = syn.unsatisfied;
                     trace.mean_abs_posterior = mean_abs_posterior();
                     observer_(trace);
-                    converged = cfg_.early_stop && trace.unsatisfied_checks == 0;
-                } else {
-                    converged = cfg_.early_stop && code_->is_codeword(out.codeword);
                 }
+                converged = cfg_.early_stop && syn.satisfied;
             }
         }
         if (cfg_.max_iterations == 0) harden(out.codeword);
         if (!cfg_.early_stop && cfg_.max_iterations > 0)
-            converged = code_->is_codeword(out.codeword);
+            converged = check_syndrome(*code_, out.codeword).satisfied;
         out.iterations = it;
         out.converged = converged;
         copy_info_bits(out);
@@ -158,6 +162,27 @@ public:
     void run_iterations(std::span<const Value> ch, int iters) {
         begin(ch);
         for (int it = 0; it < iters; ++it) step();
+    }
+
+    // --- lane-compaction support (frame-per-lane batch engine only) ---
+
+    /// Mutable views over the cross-iteration state. The frame-per-lane
+    /// batch engine uses this to retire one SIMD lane in place and splice a
+    /// fresh frame into it between step() calls (lane compaction): zeroing
+    /// lane l of c2v/v2c/down/up and rewriting lane l of ch_in/ch_p
+    /// re-creates exactly the per-lane state begin() builds for a fresh
+    /// frame. The per-schedule scratch arrays (pn_a_/pn_c_, fwd_d_, the
+    /// segment-boundary snapshots) are recomputed from this state each
+    /// iteration before being read, so they need no reset; the Layered
+    /// schedule's running posterior totals DO carry cross-iteration state
+    /// and are exposed for re-initialization from the new channel.
+    struct StateView {
+        std::span<Value> c2v, v2c, down, up;
+        std::span<Value> ch_in, ch_p;
+        std::span<Wide> post_in, post_p;  ///< Layered running totals
+    };
+    StateView state_view() {
+        return {c2v_, v2c_, down_, up_, ch_in_, ch_p_, post_in_, post_p_};
     }
 
 private:

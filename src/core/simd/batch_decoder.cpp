@@ -11,14 +11,24 @@
 // becomes a contiguous vector load/store: unlike the group-parallel engine,
 // this mode needs no gather instructions.
 //
-// Early stopping is per lane: after each iteration the posteriors are
-// hardened for the still-active lanes only, each active lane runs the
-// allocation-free syndrome check, and a converging lane freezes its result
-// (codeword, iteration count) while the remaining lanes keep iterating.
-// Finished lanes keep computing garbage in their vector slots — that is
-// harmless (lanes never interact) and cheaper than masking.
+// Early stopping is per lane: after each iteration a lane-parallel
+// syndrome pass (count_unsatisfied, the vectorized counterpart of
+// core/syndrome.hpp) counts each due lane's unsatisfied checks straight
+// from the posterior sign bits, and a converging lane hardens and freezes
+// its result (codeword, iteration count) at its own stopping iteration
+// while the remaining lanes keep iterating.
+//
+// Lane compaction (decode_stream): a retired lane is reset in place —
+// zero its column of the cross-iteration message arrays, splice the next
+// pending frame's channel into its column of ch_in/ch_p (and, for the
+// Layered schedule, the running posterior totals) via
+// MpDecoder::state_view(). That reproduces exactly the per-lane state
+// begin() builds for a fresh frame, so a frame decoded by a recycled lane
+// is still bit-identical to its scalar decode; each lane carries its own
+// iteration counter and result slot, so results land in input order.
 #include "core/simd/batch_decoder.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 
@@ -88,6 +98,7 @@ struct SimdBatchFixedDecoder::Impl {
               BatchLaneArith(cfg.rule, spec, cfg.rule == CheckRule::Exact ? &table_ : nullptr,
                              cfg.normalization, cfg.offset)) {
         ch_.resize(static_cast<std::size_t>(code.params().n));
+        stage_.resize(static_cast<std::size_t>(code.params().n));
     }
 
     /// Transposes `frames` frame-major channel vectors into the lane-major
@@ -108,31 +119,117 @@ struct SimdBatchFixedDecoder::Impl {
         }
     }
 
-    /// Hardens the still-active lanes from lane-major value arrays
-    /// (posteriors after an iteration, or the channel when no iterations
-    /// ran) into their caller-owned codewords.
-    void harden_lanes(const std::vector<VecVal>& in_vals, const std::vector<VecVal>& p_vals,
-                      DecodeResult* out, const bool* active, std::size_t frames) const {
+    /// Overwrites lane `l` of one vector value (store/patch/reload — the
+    /// splice runs once per frame, not per iteration, so the scalar detour
+    /// is off the hot path).
+    static void set_lane(VecVal& v, std::size_t l, QLLR x) {
+        QLLR tmp[W];
+        V::store(tmp, v.r);
+        tmp[l] = x;
+        v.r = V::load(tmp);
+    }
+
+    static void zero_lane(std::span<VecVal> vals, std::size_t l) {
+        QLLR tmp[W];
+        for (VecVal& v : vals) {
+            V::store(tmp, v.r);
+            tmp[l] = 0;
+            v.r = V::load(tmp);
+        }
+    }
+
+    /// Resets lane `l` in place for a fresh frame (lane compaction): zero
+    /// its column of every cross-iteration message array and splice the new
+    /// channel into its column of ch_in/ch_p — exactly the per-lane state
+    /// begin() builds. See MpDecoder::state_view() for why the per-schedule
+    /// scratch arrays need no reset and why Layered's running totals do.
+    void reset_lane(std::size_t l, const QLLR* frame) {
         const auto& cp = code_->params();
-        for (std::size_t b = 0; b < frames; ++b) {
-            if (!active[b]) continue;
-            if (out[b].codeword.size() != static_cast<std::size_t>(cp.n))
-                out[b].codeword = util::BitVec(static_cast<std::size_t>(cp.n));
+        auto st = mp_.state_view();
+        zero_lane(st.c2v, l);
+        zero_lane(st.v2c, l);
+        zero_lane(st.down, l);
+        zero_lane(st.up, l);
+        const auto k = static_cast<std::size_t>(cp.k);
+        const auto m = static_cast<std::size_t>(cp.m());
+        for (std::size_t v = 0; v < k; ++v) set_lane(st.ch_in[v], l, frame[v]);
+        for (std::size_t j = 0; j < m; ++j) set_lane(st.ch_p[j], l, frame[k + j]);
+        if (cfg_.schedule == Schedule::Layered) {
+            for (std::size_t v = 0; v < k; ++v) set_lane(st.post_in[v], l, frame[v]);
+            for (std::size_t j = 0; j < m; ++j) set_lane(st.post_p[j], l, frame[k + j]);
+        }
+    }
+
+    /// Lane-parallel syndrome: per-lane unsatisfied-check counts straight
+    /// from the posterior sign bits — the vectorized counterpart of the
+    /// shared scalar routine (core/syndrome.hpp). sign(posterior) IS the
+    /// hardened bit (harden_lanes sets bit v iff posterior_v < 0, and
+    /// srai<31> is the matching all-ones mask), so the xor-parity per check
+    /// node equals the scalar syndrome of the hardened codeword bit for bit
+    /// (pinned by tests/test_convergence.cpp). One load+xor per edge and no
+    /// per-lane graph walk, so the every-iteration early-stop check costs a
+    /// small fraction of a step() instead of W scalar is_codeword calls.
+    void count_unsatisfied(const std::vector<VecVal>& post_in,
+                           const std::vector<VecVal>& post_p, std::int32_t* unsat) const {
+        const auto& cp = code_->params();
+        const int m = cp.m();
+        const int d = code_->check_in_degree();
+        Reg cnt = V::broadcast(0);
+        Reg prev = V::broadcast(0);  // sign of p_{c-1}; CN 0 has no predecessor
+        long long e = 0;
+        for (int c = 0; c < m; ++c) {
+            Reg acc = prev;
+            for (int i = 0; i < d; ++i, ++e)
+                acc = V::xor_(acc, V::template srai<31>(
+                                       post_in[static_cast<std::size_t>(
+                                                   code_->edge_variable(e))].r));
+            const Reg pc = V::template srai<31>(post_p[static_cast<std::size_t>(c)].r);
+            acc = V::xor_(acc, pc);
+            prev = pc;
+            cnt = V::sub(cnt, acc);  // acc lanes are 0 or −1 (unsatisfied)
+        }
+        V::store(unsat, cnt);
+    }
+
+    /// Hardens the lanes flagged in `check` from lane-major value arrays
+    /// into their caller-owned codewords; slot[l] is lane l's result (null
+    /// for idle lanes).
+    void harden_lanes(const std::vector<VecVal>& in_vals, const std::vector<VecVal>& p_vals,
+                      DecodeResult* const* slot, const bool* check) const {
+        const auto& cp = code_->params();
+        for (int l = 0; l < W; ++l) {
+            if (!check[l]) continue;
+            util::BitVec& cw = slot[l]->codeword;
+            if (cw.size() != static_cast<std::size_t>(cp.n))
+                cw = util::BitVec(static_cast<std::size_t>(cp.n));
             else
-                out[b].codeword.clear();
+                cw.clear();
         }
         QLLR tmp[W];
         for (int v = 0; v < cp.k; ++v) {
             V::store(tmp, in_vals[static_cast<std::size_t>(v)].r);
-            for (std::size_t b = 0; b < frames; ++b)
-                if (active[b] && tmp[b] < 0) out[b].codeword.set(static_cast<std::size_t>(v), true);
+            for (int l = 0; l < W; ++l)
+                if (check[l] && tmp[l] < 0)
+                    slot[l]->codeword.set(static_cast<std::size_t>(v), true);
         }
         for (int j = 0; j < cp.m(); ++j) {
             V::store(tmp, p_vals[static_cast<std::size_t>(j)].r);
-            for (std::size_t b = 0; b < frames; ++b)
-                if (active[b] && tmp[b] < 0)
-                    out[b].codeword.set(static_cast<std::size_t>(cp.k + j), true);
+            for (int l = 0; l < W; ++l)
+                if (check[l] && tmp[l] < 0)
+                    slot[l]->codeword.set(static_cast<std::size_t>(cp.k + j), true);
         }
+    }
+
+    /// Zero-iteration budget: decide one frame straight from its channel
+    /// (mirrors the scalar reference's harden-from-channel path).
+    void harden_channel_frame(const QLLR* ch, DecodeResult& r) const {
+        const auto n = static_cast<std::size_t>(code_->params().n);
+        if (r.codeword.size() != n)
+            r.codeword = util::BitVec(n);
+        else
+            r.codeword.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            if (ch[i] < 0) r.codeword.set(i, true);
     }
 
     /// Freezes a lane's result (same info-bit extraction as the scalar
@@ -149,43 +246,119 @@ struct SimdBatchFixedDecoder::Impl {
             if (r.codeword.get(v)) r.info_bits.set(v, true);
     }
 
-    void decode_into(std::span<const QLLR> qllr, std::size_t frames, DecodeResult* out) {
-        load_block(qllr, frames);
-        mp_.begin(ch_);
+    /// Single lane block: decode_stream over a frame-major span.
+    struct SpanSource {
+        const QLLR* data;
+        std::size_t n;
+    };
 
-        bool active[W] = {};
-        for (std::size_t b = 0; b < frames; ++b) active[b] = true;
+    void decode_into(std::span<const QLLR> qllr, std::size_t frames, DecodeResult* out) {
+        const auto n = static_cast<std::size_t>(code_->params().n);
+        DVBS2_REQUIRE(frames >= 1 && frames <= static_cast<std::size_t>(W),
+                      "batch frames must be in [1, lanes()]");
+        DVBS2_REQUIRE(qllr.size() == frames * n, "batch channel length mismatch");
+        SpanSource src{qllr.data(), n};
+        decode_stream(
+            frames,
+            [](void* ctx, std::size_t f, QLLR* dst) {
+                const auto* s = static_cast<const SpanSource*>(ctx);
+                std::copy(s->data + f * s->n, s->data + (f + 1) * s->n, dst);
+            },
+            &src, out);
+    }
+
+    void decode_stream(std::size_t frames, FrameSource source, void* ctx, DecodeResult* out) {
+        DVBS2_REQUIRE(frames >= 1, "decode_stream needs at least one frame");
+        DVBS2_REQUIRE(source != nullptr && out != nullptr,
+                      "decode_stream needs a frame source and result storage");
+        const std::size_t n = ch_.size();
 
         if (cfg_.max_iterations == 0) {
-            // Mirror the scalar reference: decide straight from the channel.
-            harden_lanes(mp_.channel_in(), mp_.channel_p(), out, active, frames);
-            for (std::size_t b = 0; b < frames; ++b)
-                finish_lane(out[b], /*iterations=*/0, /*converged=*/false);
+            // Mirror the scalar reference: decide straight from the channel
+            // (no vector work; no lane is ever occupied).
+            for (std::size_t f = 0; f < frames; ++f) {
+                source(ctx, f, stage_.data());
+                harden_channel_frame(stage_.data(), out[f]);
+                finish_lane(out[f], /*iterations=*/0, /*converged=*/false);
+            }
             return;
         }
 
-        std::size_t remaining = frames;
-        int it = 0;
-        while (remaining > 0 && it < cfg_.max_iterations) {
+        // Fill the lanes with the first min(W, frames) frames. Surplus
+        // lanes keep whatever channel the previous call left behind (always
+        // in-range quantized values, or the zeros of construction); they
+        // compute in lockstep but are never hardened or read out.
+        const std::size_t first = std::min(frames, static_cast<std::size_t>(W));
+        for (std::size_t l = 0; l < first; ++l) {
+            source(ctx, l, stage_.data());
+            for (std::size_t i = 0; i < n; ++i) set_lane(ch_[i], l, stage_[i]);
+        }
+        mp_.begin(ch_);
+
+        // Per-lane bookkeeping: the result slot a lane writes (null = idle)
+        // and how many iterations its current frame has run. Lanes drift
+        // apart as compaction refills them, so the iteration counter is per
+        // lane, never global.
+        DecodeResult* slot[W] = {};
+        int lane_it[W] = {};
+        for (std::size_t l = 0; l < first; ++l) slot[l] = &out[l];
+        std::size_t next = first;   // next pending frame index
+        std::size_t active = first; // lanes holding an unfinished frame
+
+        while (active > 0) {
             mp_.step();
-            ++it;
-            const bool last = it == cfg_.max_iterations;
-            if (!cfg_.early_stop && !last) continue;
-            harden_lanes(mp_.posterior_in(), mp_.posterior_p(), out, active, frames);
-            for (std::size_t b = 0; b < frames; ++b) {
-                if (!active[b]) continue;
-                const bool ok = code_->is_codeword(out[b].codeword);
+            bool due[W] = {};  // lanes whose frame is syndrome-checked now
+            bool any_due = false;
+            for (int l = 0; l < W; ++l) {
+                if (slot[l] == nullptr) continue;
+                ++lane_it[l];
+                // Same cadence as the scalar reference: check every
+                // iteration under early stopping, else only at the budget.
+                if (cfg_.early_stop || lane_it[l] == cfg_.max_iterations) {
+                    due[l] = true;
+                    any_due = true;
+                }
+            }
+            if (!any_due) continue;
+            std::int32_t unsat[W];
+            count_unsatisfied(mp_.posterior_in(), mp_.posterior_p(), unsat);
+            bool fin[W] = {};   // lanes retiring this iteration
+            bool conv[W] = {};  // their converged flags
+            bool any_fin = false;
+            for (int l = 0; l < W; ++l) {
+                if (!due[l]) continue;
+                const bool ok = unsat[l] == 0;
+                const bool last = lane_it[l] == cfg_.max_iterations;
                 if (cfg_.early_stop && ok) {
-                    active[b] = false;
-                    --remaining;
-                    finish_lane(out[b], it, true);
+                    fin[l] = conv[l] = true;
+                    any_fin = true;
                 } else if (last) {
-                    active[b] = false;
-                    --remaining;
                     // early_stop semantics: converged only via the per-
                     // iteration check above; without early stopping the
                     // final syndrome decides (same as the scalar engine).
-                    finish_lane(out[b], it, cfg_.early_stop ? false : ok);
+                    fin[l] = true;
+                    conv[l] = cfg_.early_stop ? false : ok;
+                    any_fin = true;
+                }
+            }
+            if (!any_fin) continue;
+            // Harden only the retiring lanes: on a typical early-stop
+            // iteration that is zero or one lane, not all W.
+            harden_lanes(mp_.posterior_in(), mp_.posterior_p(), slot, fin);
+            for (int l = 0; l < W; ++l) {
+                if (!fin[l]) continue;
+                finish_lane(*slot[l], lane_it[l], conv[l]);
+                // Lane retired. Compaction: splice the next pending frame
+                // into it so it never idles while frames wait.
+                if (next < frames) {
+                    source(ctx, next, stage_.data());
+                    reset_lane(static_cast<std::size_t>(l), stage_.data());
+                    slot[l] = &out[next];
+                    lane_it[l] = 0;
+                    ++next;
+                } else {
+                    slot[l] = nullptr;
+                    --active;
                 }
             }
         }
@@ -213,7 +386,8 @@ struct SimdBatchFixedDecoder::Impl {
     DecoderConfig cfg_;
     quant::BoxplusTable table_;
     MpDecoder<BatchLaneArith> mp_;
-    std::vector<VecVal> ch_;  // lane-major staged channel block
+    std::vector<VecVal> ch_;   // lane-major staged channel block
+    std::vector<QLLR> stage_;  // one frame's channel, staging area for lane splices
 };
 
 SimdBatchFixedDecoder::SimdBatchFixedDecoder(const code::Dvbs2Code& code,
@@ -230,6 +404,11 @@ int SimdBatchFixedDecoder::lanes() noexcept { return W; }
 void SimdBatchFixedDecoder::decode_into(std::span<const quant::QLLR> qllr, std::size_t frames,
                                         DecodeResult* out) {
     impl_->decode_into(qllr, frames, out);
+}
+
+void SimdBatchFixedDecoder::decode_stream(std::size_t frames, FrameSource source, void* ctx,
+                                          DecodeResult* out) {
+    impl_->decode_stream(frames, source, ctx, out);
 }
 
 void SimdBatchFixedDecoder::run_iterations(std::span<const quant::QLLR> qllr,

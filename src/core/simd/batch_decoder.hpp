@@ -9,9 +9,13 @@
 // ZigzagForward/ZigzagMap/Layered sweeps — runs unchanged on W frames in
 // lockstep. Schedule control flow never depends on message values, so every
 // lane is bit-exact with a scalar MpDecoder<FixedArith> decode of its frame
-// (pinned by tests/test_engine.cpp), including per-frame early stopping:
-// each lane hardens and syndrome-checks at its own pace and records its
-// result at its own stopping iteration.
+// (pinned by tests/test_engine.cpp and tests/test_convergence.cpp),
+// including per-frame early stopping: each lane hardens and syndrome-checks
+// at its own pace and records its result at its own stopping iteration.
+// decode_stream adds lane compaction on top: a retired lane's state is
+// reset in place and the next pending frame is spliced into it, so a long
+// stream of frames keeps every lane busy no matter how unevenly the frames
+// converge.
 //
 // Memory layout: messages are stored lane-major (one vector register per
 // edge), so every v2c/c2v access of the scalar schedule becomes a
@@ -53,9 +57,30 @@ public:
     /// (frame-major, each of size N) into out[0..frames). Result semantics
     /// per frame are identical to MpDecoder::decode_into: per-lane early
     /// stopping, iteration counts and hardened codewords match a scalar
-    /// decode of the same frame bit for bit. Unused lanes replicate frame 0
-    /// and are discarded. Allocation-free once `out` entries are sized.
+    /// decode of the same frame bit for bit. Unused lanes are left idle and
+    /// discarded. Allocation-free once `out` entries are sized. (Thin
+    /// wrapper over decode_stream for a single lane block.)
     void decode_into(std::span<const quant::QLLR> qllr, std::size_t frames, DecodeResult* out);
+
+    /// Source callback of decode_stream: materializes frame `frame`'s N
+    /// quantized channel values into `dst`. Called exactly once per frame,
+    /// in ascending frame order (frames are claimed by lanes as they free
+    /// up). A plain function pointer + context keeps the steady-state path
+    /// allocation-free.
+    using FrameSource = void (*)(void* ctx, std::size_t frame, quant::QLLR* dst);
+
+    /// Decodes `frames` frames (any count >= 1) delivered by `source`, with
+    /// per-lane early termination AND lane compaction: the first
+    /// min(W, frames) frames fill the lanes; whenever a lane finishes — its
+    /// syndrome satisfied under early stopping, or its iteration budget
+    /// exhausted — the result is frozen into out[that frame's index] and
+    /// the lane is immediately reloaded with the next pending frame, so no
+    /// lane idles while frames wait. Results land in input order, and each
+    /// frame's codeword, iteration count and converged flag are
+    /// bit-identical to a scalar MpDecoder decode of that frame (pinned by
+    /// tests/test_convergence.cpp). Allocation-free once `out` entries are
+    /// sized.
+    void decode_stream(std::size_t frames, FrameSource source, void* ctx, DecodeResult* out);
 
     /// Runs exactly `iters` iterations on `frames` frames without early
     /// stopping or hardening (throughput timing; message comparisons go

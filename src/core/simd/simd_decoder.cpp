@@ -37,6 +37,7 @@
 #include "core/kernels.hpp"
 #include "core/mp_decoder.hpp"  // kMaxCheckDegree
 #include "core/simd/lane_arith.hpp"
+#include "core/syndrome.hpp"
 #include "core/simd/vec.hpp"
 #include "util/error.hpp"
 
@@ -144,22 +145,23 @@ struct SimdFixedDecoder::Impl {
                 cfg_.early_stop || it == cfg_.max_iterations || static_cast<bool>(observer_);
             if (need_harden) {
                 harden(out.codeword);
+                // Shared syndrome routine (core/syndrome.hpp): counting mode
+                // only under an observer, exactly like the scalar reference.
+                const SyndromeOutcome syn =
+                    check_syndrome(*code_, out.codeword, static_cast<bool>(observer_));
                 if (observer_) {
-                    const util::BitVec syn = code_->syndrome(out.codeword);
                     IterationTrace trace;
                     trace.iteration = it;
-                    trace.unsatisfied_checks = static_cast<int>(syn.count());
+                    trace.unsatisfied_checks = syn.unsatisfied;
                     trace.mean_abs_posterior = mean_abs_posterior();
                     observer_(trace);
-                    converged = cfg_.early_stop && trace.unsatisfied_checks == 0;
-                } else {
-                    converged = cfg_.early_stop && code_->is_codeword(out.codeword);
                 }
+                converged = cfg_.early_stop && syn.satisfied;
             }
         }
         if (cfg_.max_iterations == 0) harden(out.codeword);
         if (!cfg_.early_stop && cfg_.max_iterations > 0)
-            converged = code_->is_codeword(out.codeword);
+            converged = check_syndrome(*code_, out.codeword).satisfied;
         out.iterations = it;
         out.converged = converged;
         const auto k = static_cast<std::size_t>(cp.k);

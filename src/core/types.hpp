@@ -1,6 +1,9 @@
 // Public decoder types: schedules, check-node rules, configuration, result.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "util/bitvec.hpp"
 
 namespace dvbs2::core {
@@ -89,6 +92,63 @@ struct DecodeResult {
     util::BitVec info_bits;  ///< hard decision for the K information bits
     bool converged = false;  ///< syndrome satisfied within the iteration cap
     int iterations = 0;      ///< iterations executed
+};
+
+/// Aggregate convergence observables over any number of decoded frames: an
+/// iterations-to-finish histogram plus running counts. core::Engine records
+/// one entry per frame structurally in its public decode entry points (so
+/// every backend — including externally registered ones — surfaces the same
+/// observable), and the Monte-Carlo harness (comm/) folds per-frame entries
+/// into its deterministic batch-prefix reduction, making the histogram
+/// thread-count invariant wherever the error tallies are.
+struct ConvergenceStats {
+    /// histogram[i] = frames that finished after exactly i iterations
+    /// (i = 0 covers a zero-iteration budget).
+    std::vector<std::uint64_t> histogram;
+    std::uint64_t frames = 0;            ///< frames recorded
+    std::uint64_t converged_frames = 0;  ///< frames with the syndrome satisfied
+    std::uint64_t iteration_sum = 0;     ///< Σ iterations over all frames
+
+    /// Pre-sizes the histogram for iteration counts 0..max_iterations so
+    /// steady-state record() calls never allocate (part of the engine
+    /// layer's zero-allocation contract, pinned by tests/test_alloc.cpp).
+    void reserve_iterations(int max_iterations) {
+        const auto need = static_cast<std::size_t>(max_iterations < 0 ? 0 : max_iterations) + 1;
+        if (histogram.size() < need) histogram.resize(need, 0);
+    }
+
+    void record(int iterations, bool converged) {
+        const auto it = static_cast<std::size_t>(iterations < 0 ? 0 : iterations);
+        if (it >= histogram.size()) histogram.resize(it + 1, 0);
+        ++histogram[it];
+        ++frames;
+        if (converged) ++converged_frames;
+        iteration_sum += it;
+    }
+
+    void merge(const ConvergenceStats& o) {
+        if (histogram.size() < o.histogram.size()) histogram.resize(o.histogram.size(), 0);
+        for (std::size_t i = 0; i < o.histogram.size(); ++i) histogram[i] += o.histogram[i];
+        frames += o.frames;
+        converged_frames += o.converged_frames;
+        iteration_sum += o.iteration_sum;
+    }
+
+    /// Zeroes every count but keeps the histogram's size (and capacity), so
+    /// a reset engine stays allocation-free.
+    void reset() {
+        for (auto& h : histogram) h = 0;
+        frames = 0;
+        converged_frames = 0;
+        iteration_sum = 0;
+    }
+
+    double mean_iterations() const {
+        return frames ? static_cast<double>(iteration_sum) / static_cast<double>(frames) : 0.0;
+    }
+    double convergence_rate() const {
+        return frames ? static_cast<double>(converged_frames) / static_cast<double>(frames) : 0.0;
+    }
 };
 
 /// Per-iteration diagnostics delivered to an observer (see

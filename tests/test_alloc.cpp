@@ -233,6 +233,50 @@ TEST(AllocFree, SimdDecodeBatch) {
     EXPECT_EQ(count, 0u) << "steady-state decode_batch allocated (" << eng->backend_name() << ")";
 }
 
+TEST(AllocFree, LaneCompactionRefillsAreAllocFree) {
+    // Maximum retire/refill churn: saturated exact-codeword frames converge
+    // at iteration 1, sign-noise frames exhaust the budget, alternating —
+    // every lane is retired and refilled several times per decode_batch
+    // (preferred_batch spans 4× the lane count). Lane compaction must run
+    // entirely on the pre-sized workspace: zero steady-state allocations,
+    // including the per-frame convergence-telemetry recording.
+    const auto& code = toy_code();
+    auto spec = make_spec(dd::Arithmetic::Fixed, dd::DecoderBackend::Simd, dd::Schedule::Layered,
+                          dd::SimdLaneMode::FramePerLane);
+    spec.config.max_iterations = 4;  // hopeless frames retire at the budget
+    const auto eng = dd::make_engine(code, spec);
+    const int batch = eng->preferred_batch();
+    const auto n = static_cast<std::size_t>(code.n());
+    const dvbs2::enc::Encoder enc(code);
+    std::vector<double> flat;
+    flat.reserve(static_cast<std::size_t>(batch) * n);
+    std::uint64_t noise_state = 99;
+    for (int f = 0; f < batch; ++f) {
+        if (f % 2) {
+            const BitVec cw = enc.encode(dvbs2::enc::random_info_bits(
+                code.k(), 500 + static_cast<std::uint64_t>(f)));
+            for (std::size_t i = 0; i < n; ++i) flat.push_back(cw.get(i) ? -20.0 : 20.0);
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                noise_state += 0x9e3779b97f4a7c15ULL;
+                flat.push_back((noise_state >> 17 & 1u) ? -2.0 : 2.0);
+            }
+        }
+    }
+    std::vector<dd::DecodeResult> out(static_cast<std::size_t>(batch));
+    eng->decode_batch(flat, out);  // warmup: workspace, results, histogram
+    eng->decode_batch(flat, out);
+    // The fixture really is mixed: instant lanes and budget-exhausted lanes.
+    EXPECT_TRUE(out[1].converged);
+    EXPECT_EQ(out[1].iterations, 1);
+    EXPECT_FALSE(out[0].converged);
+    const auto count = allocations_during([&] {
+        for (int rep = 0; rep < 3; ++rep) eng->decode_batch(flat, out);
+    });
+    EXPECT_EQ(count, 0u) << "lane compaction allocated in steady state ("
+                         << eng->backend_name() << ")";
+}
+
 TEST(AllocFree, FixedRawDecodeInto) {
     // decode_raw_into skips quantization staging entirely; it must be
     // allocation-free from the very same workspace.
