@@ -13,6 +13,7 @@
 #include "analysis/lint_memory.hpp"
 #include "analysis/lint_range.hpp"
 #include "analysis/lint_schedule.hpp"
+#include "analysis/lint_transform.hpp"
 #include "arch/anneal.hpp"
 #include "core/types.hpp"
 

@@ -1,0 +1,497 @@
+#include "analysis/ir/transform.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace dvbs2::analysis::ir {
+
+namespace {
+
+/// Local schedule-name helper: this library sits below core in the link
+/// order (core/types.hpp is used header-only), so it cannot call the
+/// core::to_string definition from dvbs2_core.
+const char* schedule_name(core::Schedule s) {
+    switch (s) {
+        case core::Schedule::TwoPhase: return "two-phase";
+        case core::Schedule::ZigzagForward: return "zigzag-forward";
+        case core::Schedule::ZigzagSegmented: return "zigzag-segmented";
+        case core::Schedule::ZigzagMap: return "zigzag-map";
+        case core::Schedule::Layered: return "layered";
+    }
+    return "?";
+}
+
+const char* access_name(Access a) {
+    switch (a) {
+        case Access::Def: return "def";
+        case Access::Use: return "use";
+        case Access::Sink: return "sink";
+    }
+    return "?";
+}
+
+/// Key of one (iteration, phase, unit) serial functional-unit instance.
+std::uint64_t unit_key(const Event& ev) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(ev.iter)) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(ev.phase)) << 32) |
+           static_cast<std::uint32_t>(ev.unit);
+}
+
+/// Key of one storage word.
+std::uint64_t word_key(const Event& ev) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint8_t>(ev.space)) << 32) |
+           static_cast<std::uint32_t>(ev.index);
+}
+
+/// Lexicographic (iteration, phase) rank used for the barrier check.
+std::int64_t phase_rank(const Event& ev) {
+    return (static_cast<std::int64_t>(ev.iter) << 16) | static_cast<std::uint16_t>(ev.phase);
+}
+
+/// Reaching definition per Use/Sink (original event index of the def, -1 for
+/// the all-zero initial state) and final definition per word, for one event
+/// order. The comparison of these maps between the original and permuted
+/// orders is the semantic-preservation proof.
+struct DefFlow {
+    std::vector<std::int64_t> reaching;                    // per event, -1 for defs
+    std::unordered_map<std::uint64_t, std::int64_t> last;  // word -> final def event
+};
+
+/// `order[p]` = original event index executed p-th.
+DefFlow def_flow(const Trace& trace, const std::vector<std::int64_t>& order) {
+    DefFlow flow;
+    flow.reaching.assign(trace.events.size(), -1);
+    for (const std::int64_t e : order) {
+        const Event& ev = trace.events[static_cast<std::size_t>(e)];
+        auto [it, inserted] = flow.last.try_emplace(word_key(ev), -1);
+        if (ev.access == Access::Def)
+            it->second = e;
+        else
+            flow.reaching[static_cast<std::size_t>(e)] = it->second;
+    }
+    return flow;
+}
+
+RewriteCheck rejected(std::string reason, std::int64_t event) {
+    RewriteCheck out;
+    out.rejection = RewriteRejection{std::move(reason), event};
+    return out;
+}
+
+// ------------------------------------------------------------------ search
+
+/// Deterministic splitmix64 stream (the search must be reproducible: the
+/// certificate cache and the golden pins depend on it).
+struct Rng {
+    std::uint64_t s;
+    explicit Rng(std::uint64_t seed) : s(seed) {}
+    std::uint64_t next() {
+        s += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+    std::size_t below(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+};
+
+/// A maximal run of consecutive events by one unit: the unit of work the
+/// searcher reorders (events inside an atom keep their order, so the
+/// serial-FU constraint holds by construction).
+struct Atom {
+    std::int32_t unit = 0;
+    std::size_t first = 0, last = 0;  // event range [first, last)
+    std::size_t size() const { return last - first; }
+};
+
+struct UnionFind {
+    std::vector<int> parent;
+    explicit UnionFind(std::size_t n) : parent(n) {
+        for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+    }
+    int find(int x) {
+        while (parent[static_cast<std::size_t>(x)] != x) {
+            parent[static_cast<std::size_t>(x)] =
+                parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+            x = parent[static_cast<std::size_t>(x)];
+        }
+        return x;
+    }
+    void unite(int a, int b) {
+        a = find(a);
+        b = find(b);
+        if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+    }
+};
+
+/// Schedules one (iteration, phase) block: atoms -> dependence components
+/// -> lane packing -> per-lane step serialization -> step-major emission.
+void schedule_block(const Trace& trace, std::size_t b, std::size_t e, int P,
+                    const TransformOptions& opts, Rng& rng, ScheduleRewrite& rw) {
+    // Atoms: contiguous per-unit runs.
+    std::vector<Atom> atoms;
+    for (std::size_t t = b; t < e; ++t) {
+        if (atoms.empty() || atoms.back().unit != trace.events[t].unit ||
+            atoms.back().last != t)
+            atoms.push_back(Atom{trace.events[t].unit, t, t + 1});
+        else
+            atoms.back().last = t + 1;
+    }
+
+    // Dependence components: a same-phase RAW/WAR/WAW hazard between two
+    // atoms forces them into one lane (the lockstep rule only admits
+    // same-lane dependences), so weakly connected atoms merge.
+    UnionFind uf(atoms.size());
+    {
+        struct WordState {
+            int last_def = -1;
+            std::vector<int> readers;  // since the last def
+        };
+        std::unordered_map<std::uint64_t, WordState> words;
+        std::size_t a = 0;
+        for (std::size_t t = b; t < e; ++t) {
+            while (t >= atoms[a].last) ++a;
+            const Event& ev = trace.events[t];
+            WordState& w = words[word_key(ev)];
+            const int ai = static_cast<int>(a);
+            if (ev.access == Access::Def) {
+                if (w.last_def >= 0 && w.last_def != ai) uf.unite(w.last_def, ai);  // WAW
+                for (const int r : w.readers)
+                    if (r != ai) uf.unite(r, ai);  // WAR
+                w.readers.clear();
+                w.last_def = ai;
+            } else {
+                if (w.last_def >= 0 && w.last_def != ai) uf.unite(w.last_def, ai);  // RAW
+                w.readers.push_back(ai);
+            }
+        }
+    }
+    std::vector<std::vector<int>> comps;  // component -> atoms in program order
+    {
+        std::unordered_map<int, std::size_t> root_comp;
+        for (std::size_t a = 0; a < atoms.size(); ++a) {
+            const int r = uf.find(static_cast<int>(a));
+            auto [it, inserted] = root_comp.try_emplace(r, comps.size());
+            if (inserted) comps.emplace_back();
+            comps[it->second].push_back(static_cast<int>(a));
+        }
+    }
+
+    // Greedy LPT: biggest component first onto the least-loaded lane. Load
+    // is the atom count — a lane's atoms serialize into consecutive steps,
+    // so the phase's level count is the heaviest lane's load.
+    std::vector<std::size_t> by_size(comps.size());
+    for (std::size_t c = 0; c < comps.size(); ++c) by_size[c] = c;
+    std::stable_sort(by_size.begin(), by_size.end(), [&](std::size_t x, std::size_t y) {
+        return comps[x].size() > comps[y].size();
+    });
+    std::vector<int> comp_lane(comps.size(), 0);
+    std::vector<long long> load(static_cast<std::size_t>(P), 0);
+    for (const std::size_t c : by_size) {
+        const auto l = static_cast<std::size_t>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        comp_lane[c] = static_cast<int>(l);
+        load[l] += static_cast<long long>(comps[c].size());
+    }
+
+    // Annealing over the packing: minimize sum of squared lane loads (its
+    // minimum is the balanced packing, hence the minimal makespan). LPT can
+    // be up to 4/3 off on adversarial chain-size mixes; the walk keeps the
+    // best assignment ever seen, so it never regresses below greedy.
+    if (opts.anneal_rounds > 0 && comps.size() > 1 && P > 1) {
+        const auto cost_of = [&](const std::vector<long long>& ld) {
+            long long c = 0;
+            for (const long long l : ld) c += l * l;
+            return c;
+        };
+        long long cost = cost_of(load);
+        std::vector<int> best_lane = comp_lane;
+        long long best_cost = cost;
+        double temp = std::max<double>(1.0, static_cast<double>(b == e ? 1 : e - b));
+        const double decay =
+            std::pow(1e-3 / temp, 1.0 / static_cast<double>(opts.anneal_rounds));
+        for (int round = 0; round < opts.anneal_rounds; ++round, temp *= decay) {
+            const std::size_t c = rng.below(comps.size());
+            const auto from = static_cast<std::size_t>(comp_lane[c]);
+            const auto to = rng.below(static_cast<std::size_t>(P));
+            if (to == from) continue;
+            const auto sz = static_cast<long long>(comps[c].size());
+            const long long delta = (load[to] + sz) * (load[to] + sz) - load[to] * load[to] +
+                                    (load[from] - sz) * (load[from] - sz) -
+                                    load[from] * load[from];
+            if (delta > 0 && rng.uniform() >= std::exp(-static_cast<double>(delta) / temp))
+                continue;
+            comp_lane[c] = static_cast<int>(to);
+            load[from] -= sz;
+            load[to] += sz;
+            cost += delta;
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_lane = comp_lane;
+            }
+        }
+        comp_lane = best_lane;
+    }
+
+    // Per-lane step serialization: a lane runs its atoms in program order
+    // (program order is a topological order of every component, so all
+    // intra-component dependences point forward in step).
+    std::vector<std::vector<int>> lane_atoms(static_cast<std::size_t>(P));
+    for (std::size_t c = 0; c < comps.size(); ++c)
+        for (const int a : comps[c])
+            lane_atoms[static_cast<std::size_t>(comp_lane[c])].push_back(a);
+    std::size_t max_steps = 0;
+    std::vector<std::int16_t> atom_lane(atoms.size(), 0);
+    std::vector<std::int32_t> atom_step(atoms.size(), 0);
+    for (std::size_t l = 0; l < lane_atoms.size(); ++l) {
+        std::sort(lane_atoms[l].begin(), lane_atoms[l].end());
+        for (std::size_t s = 0; s < lane_atoms[l].size(); ++s) {
+            atom_lane[static_cast<std::size_t>(lane_atoms[l][s])] = static_cast<std::int16_t>(l);
+            atom_step[static_cast<std::size_t>(lane_atoms[l][s])] = static_cast<std::int32_t>(s);
+        }
+        max_steps = std::max(max_steps, lane_atoms[l].size());
+    }
+
+    // Step-major emission (lane-minor within a step): reaching definitions
+    // of the permuted trace fall out of trace position, matching the
+    // lockstep hardware order the certificate claims.
+    for (std::size_t s = 0; s < max_steps; ++s) {
+        for (std::size_t l = 0; l < lane_atoms.size(); ++l) {
+            if (s >= lane_atoms[l].size()) continue;
+            const Atom& at = atoms[static_cast<std::size_t>(lane_atoms[l][s])];
+            for (std::size_t t = at.first; t < at.last; ++t) {
+                rw.perm.push_back(static_cast<std::int64_t>(t));
+                rw.lane[t] = atom_lane[static_cast<std::size_t>(lane_atoms[l][s])];
+                rw.step[t] = atom_step[static_cast<std::size_t>(lane_atoms[l][s])];
+            }
+        }
+    }
+}
+
+TransformVerdict compute_verdict(core::Schedule s) {
+    TransformVerdict v;
+    v.schedule = s;
+    const ScheduleClass& cls = classify_schedule(s);
+    v.native_group_parallel = cls.group_parallel_legal;
+    v.obstruction = cls.group_parallel_obstruction;
+    const Trace trace = build_schedule_trace(s, TraceDims{});
+    if (v.native_group_parallel) {
+        const ParallelismReport rep = analyze_parallelism(trace);
+        for (const PhaseParallelism& pp : rep.phases)
+            v.phases.push_back(TransformPhase{pp.name, pp.levels, pp.max_group});
+        return v;
+    }
+    std::optional<ScheduleRewrite> rw = search_lockstep_rewrite(trace);
+    if (!rw) return v;  // search budget exhausted: stay on frame-per-lane
+    const RewriteCheck chk = check_rewrite(trace, *rw);
+    if (!chk.ok) return v;  // certifier refused the candidate: same fallback
+    v.certified = true;
+    v.rewrite = std::move(rw);
+    for (const PhaseParallelism& pp : chk.transformed.phases)
+        v.phases.push_back(TransformPhase{pp.name, pp.levels, pp.max_group});
+    return v;
+}
+
+}  // namespace
+
+std::string describe_event(const Event& ev) {
+    return std::string(access_name(ev.access)) + " of " + to_string(ev.space) + "[" +
+           std::to_string(ev.index) + "] by unit " + std::to_string(ev.unit) + " (iter " +
+           std::to_string(ev.iter) + ", phase " + std::to_string(ev.phase) + ")";
+}
+
+Trace apply_rewrite(const Trace& trace, const ScheduleRewrite& rw) {
+    Trace out;
+    out.schedule = trace.schedule;
+    out.dims = trace.dims;
+    out.phase_names = trace.phase_names;
+    out.space_size = trace.space_size;
+    out.events.reserve(rw.perm.size());
+    for (const std::int64_t e : rw.perm) {
+        Event ev = trace.events[static_cast<std::size_t>(e)];
+        ev.lane = rw.lane[static_cast<std::size_t>(e)];
+        ev.step = rw.step[static_cast<std::size_t>(e)];
+        out.events.push_back(ev);
+    }
+    return out;
+}
+
+RewriteCheck check_rewrite(const Trace& trace, const ScheduleRewrite& rw) {
+    const std::size_t n = trace.events.size();
+
+    // 1. Bijection: every original event appears exactly once.
+    if (rw.lane.size() != n || rw.step.size() != n)
+        return rejected("certificate coordinate arrays do not cover the trace (" +
+                            std::to_string(rw.lane.size()) + "/" + std::to_string(rw.step.size()) +
+                            " entries for " + std::to_string(n) + " events)",
+                        -1);
+    std::vector<char> seen(n, 0);
+    for (const std::int64_t e : rw.perm) {
+        if (e < 0 || e >= static_cast<std::int64_t>(n))
+            return rejected("permutation references nonexistent event index " + std::to_string(e),
+                            e);
+        if (seen[static_cast<std::size_t>(e)])
+            return rejected("event emitted twice: " +
+                                describe_event(trace.events[static_cast<std::size_t>(e)]),
+                            e);
+        seen[static_cast<std::size_t>(e)] = 1;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        if (!seen[i])
+            return rejected("event dropped from the rewrite: " + describe_event(trace.events[i]),
+                            static_cast<std::int64_t>(i));
+
+    // 2-5. Structural walk over the permuted order: phase barriers, serial
+    // functional-unit order, one lane per unit instance, step-major
+    // emission.
+    std::int64_t prev_rank = std::numeric_limits<std::int64_t>::min();
+    std::int32_t prev_step = 0;
+    std::unordered_map<std::uint64_t, std::int64_t> unit_last;   // unit instance -> last event
+    std::unordered_map<std::uint64_t, std::int16_t> unit_lanes;  // unit instance -> lane
+    for (const std::int64_t e : rw.perm) {
+        const Event& ev = trace.events[static_cast<std::size_t>(e)];
+        const std::int64_t rank = phase_rank(ev);
+        if (rank < prev_rank)
+            return rejected("event crosses an iteration/phase barrier: " + describe_event(ev), e);
+        if (rank > prev_rank) prev_step = std::numeric_limits<std::int32_t>::min();
+        prev_rank = rank;
+
+        const std::int16_t lane = rw.lane[static_cast<std::size_t>(e)];
+        const std::int32_t step = rw.step[static_cast<std::size_t>(e)];
+        if (lane < 0 || lane >= trace.dims.parallelism || step < 0)
+            return rejected("event is assigned outside the P-lane lockstep grid (lane " +
+                                std::to_string(lane) + ", step " + std::to_string(step) + "): " +
+                                describe_event(ev),
+                            e);
+        if (step < prev_step)
+            return rejected("emission order runs against the lockstep step order: " +
+                                describe_event(ev),
+                            e);
+        prev_step = step;
+
+        auto [lit, lane_new] = unit_lanes.try_emplace(unit_key(ev), lane);
+        if (!lane_new && lit->second != lane)
+            return rejected("unit " + std::to_string(ev.unit) +
+                                " is split across lanes within one phase: " + describe_event(ev),
+                            e);
+        auto [uit, unit_new] = unit_last.try_emplace(unit_key(ev), e);
+        if (!unit_new) {
+            if (e < uit->second)
+                return rejected(
+                    "events of a serial functional unit are reordered against program order: " +
+                        describe_event(ev),
+                    e);
+            uit->second = e;
+        }
+    }
+
+    // 6. Semantic preservation: identical reaching definition for every
+    // read, identical final definition for every word. Only provably
+    // independent events may commute, so this is the bit-exactness proof.
+    std::vector<std::int64_t> identity(n);
+    for (std::size_t i = 0; i < n; ++i) identity[i] = static_cast<std::int64_t>(i);
+    const DefFlow orig = def_flow(trace, identity);
+    const DefFlow perm = def_flow(trace, rw.perm);
+    for (const std::int64_t e : rw.perm) {
+        const Event& ev = trace.events[static_cast<std::size_t>(e)];
+        if (ev.access == Access::Def) continue;
+        if (orig.reaching[static_cast<std::size_t>(e)] != perm.reaching[static_cast<std::size_t>(e)])
+            return rejected("violated def-use edge: " + describe_event(ev) +
+                                " reads a different reaching definition after the rewrite",
+                            e);
+    }
+    for (const auto& [word, final_def] : orig.last) {
+        const auto it = perm.last.find(word);
+        if (it == perm.last.end() || it->second != final_def)
+            return rejected("final definition of a word changes: " +
+                                describe_event(trace.events[static_cast<std::size_t>(final_def)]),
+                            final_def);
+    }
+
+    // 7. Translation validation: replay the permuted, re-coordinated trace
+    // through the independent lockstep checker.
+    RewriteCheck out;
+    out.transformed = analyze_parallelism(apply_rewrite(trace, rw));
+    if (!out.transformed.lockstep_legal) {
+        std::string reason = "transformed trace fails the lockstep replay";
+        if (out.transformed.violation)
+            reason += ": " + out.transformed.violation->describe();
+        out.rejection = RewriteRejection{std::move(reason), -1};
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+std::optional<ScheduleRewrite> search_lockstep_rewrite(const Trace& trace,
+                                                       const TransformOptions& opts) {
+    const std::size_t n = trace.events.size();
+    if (n > opts.max_events) return std::nullopt;  // budget: degrade, don't guess
+    const int P = std::max(1, trace.dims.parallelism);
+    ScheduleRewrite rw;
+    rw.schedule = trace.schedule;
+    rw.dims = trace.dims;
+    rw.perm.reserve(n);
+    rw.lane.assign(n, 0);
+    rw.step.assign(n, 0);
+    Rng rng(opts.seed);
+    std::size_t b = 0;
+    while (b < n) {
+        std::size_t e = b;
+        while (e < n && trace.events[e].iter == trace.events[b].iter &&
+               trace.events[e].phase == trace.events[b].phase)
+            ++e;
+        schedule_block(trace, b, e, P, opts, rng, rw);
+        b = e;
+    }
+    return rw;
+}
+
+std::string TransformVerdict::summary() const {
+    std::string out(schedule_name(schedule));
+    if (native_group_parallel)
+        out += ": group-parallel natively legal";
+    else if (certified)
+        out += ": group-parallel via certified rewrite (was: " + obstruction + ")";
+    else if (obstruction.empty())
+        out += ": frame-per-lane only (search found no certifiable rewrite)";
+    else
+        out += ": frame-per-lane only (" + obstruction + "; no certified rewrite)";
+    if (group_parallel() && !phases.empty()) {
+        out += " [";
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            if (i) out += "; ";
+            out += phases[i].name + ": " + std::to_string(phases[i].steps) + " steps x " +
+                   std::to_string(phases[i].max_group) + " wide";
+        }
+        out += "]";
+    }
+    return out;
+}
+
+const TransformVerdict& transform_schedule(core::Schedule schedule) {
+    static const std::array<TransformVerdict, 5> table = [] {
+        std::array<TransformVerdict, 5> t;
+        for (core::Schedule s :
+             {core::Schedule::TwoPhase, core::Schedule::ZigzagForward,
+              core::Schedule::ZigzagSegmented, core::Schedule::ZigzagMap,
+              core::Schedule::Layered})
+            t[static_cast<std::size_t>(s)] = compute_verdict(s);
+        return t;
+    }();
+    const auto i = static_cast<std::size_t>(schedule);
+    DVBS2_REQUIRE(i < table.size(), "unknown schedule value " + std::to_string(i));
+    return table[i];
+}
+
+bool group_parallel_supported(core::Schedule schedule) {
+    return transform_schedule(schedule).group_parallel();
+}
+
+}  // namespace dvbs2::analysis::ir

@@ -1,0 +1,151 @@
+// Certified schedule transformer (ROADMAP item 3): turns the dataflow IR
+// from a verifier into an optimizer.
+//
+// `classify_schedule` proves that layered, zigzag-forward, and zigzag-map
+// cannot run as P lockstep functional units *as emitted* and names the
+// first obstruction. This pass searches for a dependence-preserving
+// reassignment of every event's (lane, step) coordinates — greedy level
+// compaction of independent work plus simulated annealing over the
+// packing of dependence components onto lanes — that eliminates the
+// obstruction.
+//
+// The searcher is untrusted. Every candidate comes out as an explicit
+// `ScheduleRewrite` certificate: a permutation of the event trace plus the
+// rewritten lane/step of every original event. `check_rewrite` re-checks a
+// certificate from scratch (translation validation): it shares no state or
+// heuristics with the search, and its final word is a replay of the
+// permuted, re-coordinated trace through the *existing* independent
+// checkers (`analyze_parallelism`, and `verify_slot_stream` semantics via
+// the per-unit order rule). A certificate is accepted only if
+//   1. the permutation is a bijection (no event dropped or duplicated),
+//   2. no event crosses an iteration or phase barrier,
+//   3. every serial functional unit keeps its internal event order,
+//   4. all events of a unit within a phase stay on one lane,
+//   5. the emission order is lockstep (step-major) within each phase,
+//   6. every Use/Sink reads the same reaching definition as in the
+//      original trace and every word's final definition is unchanged
+//      (this is the proof that the transformed scalar decode is
+//      bit-identical to the original scalar decode), and
+//   7. the replayed trace is lockstep-legal under `analyze_parallelism`.
+// Each rejection names the offending event.
+//
+// `transform_schedule` caches one verdict per core::Schedule at canonical
+// trace dimensions (like `classify_schedule`, the dependence patterns
+// repeat per unit, so the verdicts are dimension-independent); the engine
+// layer (core/engine.cpp) consults it to admit (fixed, simd-group) specs
+// for certified schedules. A search that exceeds its budget — or a
+// certificate the checker rejects — degrades to the frame-per-lane
+// verdict, never to an uncertified group-parallel claim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ir/analyses.hpp"
+#include "analysis/ir/ir.hpp"
+
+namespace dvbs2::analysis::ir {
+
+/// An explicit, independently checkable rewrite of one schedule trace.
+/// `perm[p]` is the original event index emitted at position p of the
+/// transformed trace; `lane[i]` / `step[i]` are the rewritten hardware
+/// coordinates of original event i. Nothing else: the certificate carries
+/// the entire claim, so the checker needs no access to the search.
+struct ScheduleRewrite {
+    core::Schedule schedule{};
+    TraceDims dims;
+    std::vector<std::int64_t> perm;
+    std::vector<std::int16_t> lane;
+    std::vector<std::int32_t> step;
+};
+
+/// Why a certificate was rejected, naming the offending event.
+struct RewriteRejection {
+    std::string reason;       ///< human-readable, includes the event description
+    std::int64_t event = -1;  ///< original event index (-1: not event-specific)
+};
+
+struct RewriteCheck {
+    bool ok = false;
+    std::optional<RewriteRejection> rejection;  ///< first failure, when !ok
+    /// Parallelism report of the transformed trace (valid when the
+    /// structural checks passed, i.e. always when ok).
+    ParallelismReport transformed;
+};
+
+/// Mechanical application of a certificate: the permuted event sequence
+/// with rewritten lane/step coordinates. Used by the certifier's replay and
+/// exposed for tests; it interprets the certificate, it does not search.
+Trace apply_rewrite(const Trace& trace, const ScheduleRewrite& rw);
+
+/// Independent certifier (translation validation). See file header for the
+/// seven checks; rejections name the offending event.
+RewriteCheck check_rewrite(const Trace& trace, const ScheduleRewrite& rw);
+
+/// One-line description of an event for diagnostics ("use of msg-word[5]
+/// by unit 7 (iter 1, phase 0)").
+std::string describe_event(const Event& ev);
+
+struct TransformOptions {
+    /// Search budget: traces above this size are not searched (the caller
+    /// degrades to frame-per-lane).
+    std::size_t max_events = 1 << 20;
+    /// Simulated-annealing rounds over the component-to-lane packing per
+    /// phase block (0 = greedy LPT only). Deterministic for a fixed seed.
+    int anneal_rounds = 4000;
+    std::uint64_t seed = 0x5eed5eed5eedULL;
+};
+
+/// Untrusted searcher. Collapses each (iteration, phase) block into
+/// per-unit atoms, builds the RAW/WAR/WAW dependence DAG over the atoms,
+/// groups them into connected components (a same-phase dependence is only
+/// lockstep-legal inside one lane, so a component must not straddle
+/// lanes), packs components onto the P lanes with greedy LPT plus
+/// annealing, and serializes each lane's atoms into consecutive lockstep
+/// steps. Returns std::nullopt when the trace exceeds the search budget.
+/// The result is a *candidate*: callers must pass it through
+/// check_rewrite before trusting it.
+std::optional<ScheduleRewrite> search_lockstep_rewrite(const Trace& trace,
+                                                       const TransformOptions& opts = {});
+
+/// Shape of one phase of the transformed measured iteration.
+struct TransformPhase {
+    std::string name;
+    int steps = 0;      ///< lockstep steps (levels) after the rewrite
+    int max_group = 0;  ///< widest level: units running in parallel
+};
+
+/// Cached per-schedule verdict: how (if at all) the schedule reaches
+/// group-parallel legality.
+struct TransformVerdict {
+    core::Schedule schedule{};
+    /// Lockstep-legal as emitted (classify_schedule's native verdict);
+    /// no rewrite is needed or stored.
+    bool native_group_parallel = false;
+    /// A rewrite was found by the search and accepted by check_rewrite.
+    bool certified = false;
+    /// classify_schedule's obstruction text for the original trace (empty
+    /// when natively legal).
+    std::string obstruction;
+    /// Level structure of the (possibly transformed) measured iteration.
+    std::vector<TransformPhase> phases;
+    /// The certificate, when certified (canonical dimensions).
+    std::optional<ScheduleRewrite> rewrite;
+
+    /// True when the engine layer may accept a group-parallel lane mapping.
+    bool group_parallel() const noexcept { return native_group_parallel || certified; }
+    /// One-sentence account for engine errors and lint findings.
+    std::string summary() const;
+};
+
+/// Thread-safe cached verdict for `schedule` (canonical TraceDims). Search
+/// failure or certificate rejection yields group_parallel() == false — the
+/// frame-per-lane verdict from classify_schedule is unaffected.
+const TransformVerdict& transform_schedule(core::Schedule schedule);
+
+/// Convenience for the engine layer and bench: native or certified.
+bool group_parallel_supported(core::Schedule schedule);
+
+}  // namespace dvbs2::analysis::ir

@@ -1,0 +1,70 @@
+#include "analysis/lint_transform.hpp"
+
+#include <string>
+
+#include "analysis/ir/transform.hpp"
+
+namespace dvbs2::analysis {
+
+namespace {
+
+std::string schedule_location(core::Schedule s) {
+    return std::string("schedule ") + core::to_string(s);
+}
+
+std::string phase_shape(const std::vector<ir::TransformPhase>& phases) {
+    std::string out;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (i) out += ", ";
+        out += phases[i].name + " " + std::to_string(phases[i].steps) + " steps x " +
+               std::to_string(phases[i].max_group) + " wide";
+    }
+    return out;
+}
+
+}  // namespace
+
+Report lint_transform(core::Schedule schedule) {
+    Report rep;
+    const ir::TransformVerdict& verdict = ir::transform_schedule(schedule);
+    const std::string loc = schedule_location(schedule);
+
+    if (verdict.native_group_parallel) {
+        rep.add("schedule.transform.verdict", Severity::Note, loc,
+                "group-parallel natively legal, no rewrite needed (" +
+                    phase_shape(verdict.phases) + ")");
+        return rep;
+    }
+    if (!verdict.certified) {
+        rep.add("schedule.transform.verdict", Severity::Note, loc,
+                "no certified lockstep rewrite (" +
+                    (verdict.obstruction.empty() ? std::string("search found no candidate")
+                                                 : verdict.obstruction) +
+                    "); SIMD backend degrades to frame-per-lane");
+        return rep;
+    }
+
+    rep.add("schedule.transform.verdict", Severity::Note, loc,
+            "lockstep-illegal as emitted (" + verdict.obstruction +
+                "); a certified dependence-preserving rewrite restores the group-parallel "
+                "mapping");
+
+    // Proof perimeter: re-run the independent certifier on the stored
+    // certificate instead of trusting the cached verdict.
+    const ir::Trace trace = ir::build_schedule_trace(schedule, verdict.rewrite->dims);
+    const ir::RewriteCheck chk = ir::check_rewrite(trace, *verdict.rewrite);
+    if (!chk.ok) {
+        rep.add("schedule.transform.check", Severity::Error, loc,
+                "stored rewrite certificate failed re-verification: " +
+                    (chk.rejection ? chk.rejection->reason : std::string("unknown rejection")),
+                "regenerate the certificate; do not run this schedule group-parallel");
+        return rep;
+    }
+    rep.add("schedule.transform.certificate", Severity::Note, loc,
+            "certificate re-verified: permutation of " +
+                std::to_string(verdict.rewrite->perm.size()) +
+                " events replayed lockstep-legal (" + phase_shape(verdict.phases) + ")");
+    return rep;
+}
+
+}  // namespace dvbs2::analysis

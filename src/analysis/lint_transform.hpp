@@ -1,0 +1,33 @@
+// Rule family `schedule.transform.*`: surfaces the certified schedule
+// transformer (src/analysis/ir/transform.hpp) as machine-checked findings.
+//
+// The transformer searches dependence-preserving (lane, step) reorderings
+// that make a lockstep-illegal schedule legal, emits each candidate as an
+// explicit ScheduleRewrite certificate, and has the certificate re-checked
+// by replaying the permuted trace through the independent analyses. This
+// family repeats that replay inside the lint run — the proof perimeter
+// checks the stored certificate, it does not trust the cache.
+//
+// Rules:
+//   schedule.transform.verdict      (note) how the schedule reaches the
+//                                   group-parallel mapping: natively legal,
+//                                   via certified rewrite (with the original
+//                                   obstruction), or frame-per-lane only
+//   schedule.transform.certificate  (note) re-verified certificate shape:
+//                                   permuted event count and the per-phase
+//                                   lockstep steps x width after the rewrite
+//   schedule.transform.check        (error) the stored certificate failed
+//                                   re-verification, naming the offending
+//                                   event — this means the cached verdict
+//                                   must not be trusted
+#pragma once
+
+#include "analysis/diag.hpp"
+#include "core/types.hpp"
+
+namespace dvbs2::analysis {
+
+/// Transform verdict + certificate re-verification for one schedule.
+Report lint_transform(core::Schedule schedule);
+
+}  // namespace dvbs2::analysis

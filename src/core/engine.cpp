@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "analysis/ir/analyses.hpp"
+#include "analysis/ir/transform.hpp"
 #include "core/arith.hpp"
 #include "core/mp_decoder.hpp"
 #include "core/simd/batch_decoder.hpp"
@@ -44,14 +45,21 @@ void validate_engine_spec(const EngineSpec& spec) {
         // Legality is derived, not hardcoded: the dataflow IR classifies each
         // schedule by tracing its def/use dependences (analysis/ir). The
         // group-parallel mapping needs every same-phase dependence to stay
-        // inside one lane and respect the lockstep step order.
+        // inside one lane and respect the lockstep step order — either in
+        // the schedule as emitted (native legality) or under a certified
+        // dependence-preserving rewrite (analysis/ir/transform.hpp): the
+        // transformer's certificates are re-checked by replaying the
+        // permuted trace through the same analyses, so an uncertified
+        // schedule can never reach the group-parallel executor.
         const auto& cls = analysis::ir::classify_schedule(c.schedule);
         if (c.lane_mode != SimdLaneMode::FramePerLane) {
-            DVBS2_REQUIRE(cls.group_parallel_legal,
+            const auto& verdict = analysis::ir::transform_schedule(c.schedule);
+            DVBS2_REQUIRE(verdict.group_parallel(),
                           std::string("backend=simd with lane_mode=") + to_string(c.lane_mode) +
                               " (group-parallel lanes) cannot run schedule=" +
                               to_string(c.schedule) + ": " + cls.group_parallel_obstruction +
-                              "; use lane_mode=frame-per-lane (one lane per frame) to run this "
+                              ", and no certified lockstep rewrite exists; use "
+                              "lane_mode=frame-per-lane (one lane per frame) to run this "
                               "schedule on the SIMD backend");
         } else {
             DVBS2_REQUIRE(cls.frame_per_lane_legal,

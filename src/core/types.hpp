@@ -47,9 +47,11 @@ enum class DecoderBackend {
     /// schedule and the float arithmetic.
     Scalar,
     /// SIMD engine (core/simd), bit-exact with Scalar and fixed-point only.
-    /// Single frames run group-parallel (one lane = one FU per Eq. 2;
-    /// TwoPhase and ZigzagSegmented); batches run frame-parallel (one lane =
-    /// one frame; every schedule). See SimdLaneMode.
+    /// Single frames run group-parallel (one lane = one FU per Eq. 2 —
+    /// natively for TwoPhase/ZigzagSegmented, via certified schedule
+    /// rewrites for the rest; see analysis/ir/transform.hpp); batches run
+    /// frame-parallel (one lane = one frame; every schedule). See
+    /// SimdLaneMode.
     Simd,
 };
 
@@ -58,12 +60,13 @@ enum class SimdLaneMode {
     /// Group-parallel for single-frame decodes, frame-per-lane for batches.
     Auto,
     /// Lane = functional unit for every call (batches decode frame by
-    /// frame). Requires TwoPhase or ZigzagSegmented.
+    /// frame). Requires a schedule that is natively lockstep-legal or holds
+    /// a certified rewrite (all five shipped schedules qualify; see
+    /// analysis/ir/transform.hpp).
     GroupParallel,
     /// Lane = frame for every call (a single-frame decode occupies one lane
-    /// of a batch block). Works with every schedule, including the ones the
-    /// group-parallel mapping cannot cover (ZigzagForward, ZigzagMap,
-    /// Layered); full throughput needs whole batches.
+    /// of a batch block). Works with every schedule regardless of lockstep
+    /// legality; full throughput needs whole batches.
     FramePerLane,
 };
 

@@ -222,26 +222,18 @@ TEST(EngineValidation, FloatRejectsSimdBackend) {
         {"fixed", "simd"}, "float+simd");
 }
 
-TEST(EngineValidation, GroupLaneModeRejectsUnsupportedSchedules) {
+TEST(EngineValidation, GroupLaneModeAcceptsEveryScheduleViaTheTransformer) {
+    // TwoPhase and ZigzagSegmented are natively lockstep-legal; the three
+    // serial-chain schedules are admitted through a certified rewrite from
+    // the schedule transformer (analysis::ir::transform_schedule).
     for (const auto lanes : {dd::SimdLaneMode::Auto, dd::SimdLaneMode::GroupParallel}) {
         for (const auto schedule :
-             {dd::Schedule::ZigzagForward, dd::Schedule::ZigzagMap, dd::Schedule::Layered}) {
-            expect_throws_mentioning(
-                [&] {
-                    dd::validate_engine_spec(spec_of(dd::Arithmetic::Fixed,
-                                                     dd::DecoderBackend::Simd, schedule, lanes));
-                },
-                {dd::to_string(schedule), "frame-per-lane"},
-                std::string("simd lane_mode=") + dd::to_string(lanes) +
-                    " schedule=" + dd::to_string(schedule));
+             {dd::Schedule::TwoPhase, dd::Schedule::ZigzagForward, dd::Schedule::ZigzagSegmented,
+              dd::Schedule::ZigzagMap, dd::Schedule::Layered}) {
+            EXPECT_NO_THROW(dd::validate_engine_spec(
+                spec_of(dd::Arithmetic::Fixed, dd::DecoderBackend::Simd, schedule, lanes)))
+                << dd::to_string(schedule);
         }
-        // The two group-parallel schedules stay legal.
-        EXPECT_NO_THROW(dd::validate_engine_spec(
-            spec_of(dd::Arithmetic::Fixed, dd::DecoderBackend::Simd, dd::Schedule::TwoPhase,
-                    lanes)));
-        EXPECT_NO_THROW(dd::validate_engine_spec(
-            spec_of(dd::Arithmetic::Fixed, dd::DecoderBackend::Simd,
-                    dd::Schedule::ZigzagSegmented, lanes)));
     }
     // Frame-per-lane covers every schedule.
     for (const auto schedule :
@@ -296,11 +288,13 @@ TEST(EngineValidation, WrappersRouteThroughCentralValidation) {
     // Decoder is float arithmetic: float+simd must be rejected.
     expect_throws_mentioning([&] { dd::Decoder dec(toy_code(), cfg); }, {"fixed"},
                              "Decoder wrapper float+simd");
-    // FixedDecoder with a schedule the group-parallel mapping cannot run.
+    // FixedDecoder with an out-of-range parameter for the active rule.
     cfg.schedule = dd::Schedule::Layered;
+    cfg.rule = dd::CheckRule::NormalizedMinSum;
+    cfg.normalization = 1.5;
     expect_throws_mentioning(
         [&] { dd::FixedDecoder dec(toy_code(), cfg, dq::kQuant6); },
-        {"layered", "frame-per-lane"}, "FixedDecoder wrapper simd+layered");
+        {"normalization"}, "FixedDecoder wrapper bad normalization");
 }
 
 // ----------------------------------------------------- reuse and batching
@@ -411,7 +405,9 @@ TEST(EngineEquivalence, AllSchedulesFramePerLaneMatchesScalar) {
 
 TEST(EngineEquivalence, GroupParallelMatchesScalar) {
     const auto& code = toy_code();
-    for (const auto schedule : {dd::Schedule::TwoPhase, dd::Schedule::ZigzagSegmented}) {
+    for (const auto schedule :
+         {dd::Schedule::TwoPhase, dd::Schedule::ZigzagForward, dd::Schedule::ZigzagSegmented,
+          dd::Schedule::ZigzagMap, dd::Schedule::Layered}) {
         const auto scalar = dd::make_engine(
             code, spec_of(dd::Arithmetic::Fixed, dd::DecoderBackend::Scalar, schedule));
         const auto group = dd::make_engine(

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "analysis/ir/analyses.hpp"
+#include "analysis/ir/transform.hpp"
 #include "analysis/lint_memory.hpp"
 #include "analysis/lint_schedule.hpp"
 #include "arch/anneal.hpp"
@@ -81,17 +82,18 @@ TEST(IrClassify, LegalSetMatchesThePreviouslyHardcodedEngineSet) {
 }
 
 TEST(IrClassify, EngineRegistryConsultsTheDerivedClassification) {
+    // Since the certified schedule transformer, every schedule is admitted
+    // for the group-parallel mapping: natively legal ones via
+    // classify_schedule, the rest via a transform_schedule certificate.
     for (co::Schedule s : kAllSchedules) {
         co::EngineSpec spec;
         spec.config.backend = co::DecoderBackend::Simd;
         spec.config.schedule = s;
         spec.config.lane_mode = co::SimdLaneMode::GroupParallel;
-        if (ir::classify_schedule(s).group_parallel_legal) {
-            EXPECT_NO_THROW(co::validate_engine_spec(spec)) << co::to_string(s);
-        } else {
-            EXPECT_THROW(co::validate_engine_spec(spec), std::runtime_error)
-                << co::to_string(s);
-        }
+        ASSERT_TRUE(ir::classify_schedule(s).group_parallel_legal ||
+                    ir::transform_schedule(s).certified)
+            << co::to_string(s);
+        EXPECT_NO_THROW(co::validate_engine_spec(spec)) << co::to_string(s);
         spec.config.lane_mode = co::SimdLaneMode::FramePerLane;
         EXPECT_NO_THROW(co::validate_engine_spec(spec)) << co::to_string(s);
     }

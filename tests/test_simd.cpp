@@ -30,6 +30,14 @@ using dvbs2::util::BitVec;
 
 namespace {
 
+/// Every schedule now has a group-parallel backend: TwoPhase and
+/// ZigzagSegmented natively, the serial-chain schedules via the certified
+/// transform (src/analysis/ir/transform.hpp) executed as a vectorized
+/// variable phase plus a scalar chain sweep.
+constexpr dd::Schedule kAllSchedules[] = {dd::Schedule::TwoPhase, dd::Schedule::ZigzagForward,
+                                          dd::Schedule::ZigzagSegmented, dd::Schedule::ZigzagMap,
+                                          dd::Schedule::Layered};
+
 const dc::Dvbs2Code& toy_code() {
     // p = 12 gives one full AVX2 block of 8 lanes plus a 4-lane scalar tail
     // in every group, so remainder paths are exercised on every backend.
@@ -138,8 +146,7 @@ class SimdRateBitExactTest : public ::testing::TestWithParam<dc::CodeRate> {};
 
 TEST_P(SimdRateBitExactTest, MessagesMatchScalarAfter1And10Iterations) {
     const dc::Dvbs2Code code(dc::standard_params(GetParam()));
-    for (const dd::Schedule schedule :
-         {dd::Schedule::TwoPhase, dd::Schedule::ZigzagSegmented}) {
+    for (const dd::Schedule schedule : kAllSchedules) {
         for (const dq::QuantSpec& spec : {dq::kQuant6, dq::kQuant5}) {
             dd::DecoderConfig cfg;
             cfg.schedule = schedule;
@@ -173,8 +180,7 @@ class SimdRuleBitExactTest : public ::testing::TestWithParam<dd::CheckRule> {};
 
 TEST_P(SimdRuleBitExactTest, MessagesMatchScalarOnFullSizeCode) {
     const dc::Dvbs2Code code(dc::standard_params(dc::CodeRate::R1_2));
-    for (const dd::Schedule schedule :
-         {dd::Schedule::TwoPhase, dd::Schedule::ZigzagSegmented}) {
+    for (const dd::Schedule schedule : kAllSchedules) {
         dd::DecoderConfig cfg;
         cfg.schedule = schedule;
         cfg.rule = GetParam();
@@ -240,8 +246,7 @@ TEST_P(SimdDecodeEquivalenceTest, DecodeResultsAndTracesMatchScalar) {
 
 INSTANTIATE_TEST_SUITE_P(
     SchedulesAndEarlyStop, SimdDecodeEquivalenceTest,
-    ::testing::Combine(::testing::Values(dd::Schedule::TwoPhase, dd::Schedule::ZigzagSegmented),
-                       ::testing::Bool()),
+    ::testing::Combine(::testing::ValuesIn(kAllSchedules), ::testing::Bool()),
     [](const ::testing::TestParamInfo<std::tuple<dd::Schedule, bool>>& info) {
         return sanitize(std::string(dd::to_string(std::get<0>(info.param))) +
                         (std::get<1>(info.param) ? "EarlyStop" : "FixedIters"));
@@ -282,12 +287,11 @@ TEST(SimdDispatch, UnsupportedConfigurationsThrow) {
     cfg.schedule = dd::Schedule::TwoPhase;
     EXPECT_THROW(dd::Decoder(toy_code(), cfg), std::runtime_error);
 
-    // Only TwoPhase and ZigzagSegmented have a lockstep mapping.
-    for (const dd::Schedule s :
-         {dd::Schedule::ZigzagForward, dd::Schedule::ZigzagMap, dd::Schedule::Layered}) {
+    // Every schedule has a group-parallel mapping now — natively or via a
+    // certified transform — so all five construct.
+    for (const dd::Schedule s : kAllSchedules) {
         cfg.schedule = s;
-        EXPECT_THROW(dd::FixedDecoder(toy_code(), cfg, dq::kQuant6), std::runtime_error)
-            << dd::to_string(s);
+        EXPECT_NO_THROW(dd::FixedDecoder(toy_code(), cfg, dq::kQuant6)) << dd::to_string(s);
     }
 
     // Per-CN input orders are a scalar-engine feature.
@@ -309,8 +313,7 @@ TEST(SimdGoldenBer, SimulatePointTalliesMatchScalarBackend) {
     sim.limits.target_bit_errors = 1'000'000;
     sim.limits.target_frame_errors = 1'000'000;
 
-    for (const dd::Schedule schedule :
-         {dd::Schedule::TwoPhase, dd::Schedule::ZigzagSegmented}) {
+    for (const dd::Schedule schedule : kAllSchedules) {
         dd::DecoderConfig cfg;
         cfg.schedule = schedule;
         cfg.max_iterations = 20;

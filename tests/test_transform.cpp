@@ -1,0 +1,367 @@
+// Tests of the certified schedule transformer (src/analysis/ir/transform):
+// golden digests of the canonical event traces the certificates index into,
+// the per-schedule verdicts (native / certified / shape of the transformed
+// iteration), independent re-verification of every stored certificate, the
+// search's compaction and annealing behaviour on synthetic traces, and the
+// certifier's rejection of every class of illegal rewrite — each rejection
+// naming the offending event.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ir/analyses.hpp"
+#include "analysis/ir/transform.hpp"
+
+namespace ir = dvbs2::analysis::ir;
+namespace co = dvbs2::core;
+
+namespace {
+
+constexpr co::Schedule kAllSchedules[] = {
+    co::Schedule::TwoPhase, co::Schedule::ZigzagForward, co::Schedule::ZigzagSegmented,
+    co::Schedule::ZigzagMap, co::Schedule::Layered};
+
+// ---- FNV-1a 64 over the full trace content (shape + every event field) ----
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (8 * b)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+std::uint64_t trace_digest(const ir::Trace& tr) {
+    std::uint64_t h = kFnvOffset;
+    for (const std::string& name : tr.phase_names)
+        for (char c : name) fnv_u64(h, static_cast<unsigned char>(c));
+    for (std::int32_t sz : tr.space_size) fnv_u64(h, static_cast<std::uint64_t>(sz));
+    for (const ir::Event& ev : tr.events) {
+        fnv_u64(h, static_cast<std::uint64_t>(ev.access));
+        fnv_u64(h, static_cast<std::uint64_t>(ev.space));
+        fnv_u64(h, static_cast<std::uint64_t>(ev.index));
+        fnv_u64(h, static_cast<std::uint64_t>(ev.iter));
+        fnv_u64(h, static_cast<std::uint64_t>(ev.phase));
+        fnv_u64(h, static_cast<std::uint64_t>(ev.unit));
+        fnv_u64(h, static_cast<std::uint64_t>(ev.lane));
+        fnv_u64(h, static_cast<std::uint64_t>(ev.step));
+    }
+    return h;
+}
+
+struct TracePin {
+    co::Schedule schedule;
+    std::uint64_t digest;
+};
+
+constexpr TracePin kTracePins[] = {
+#include "golden_trace_pins.inc"
+};
+
+/// C++ enumerator name, so a failed pin prints a paste-ready .inc row.
+const char* schedule_enum_name(co::Schedule s) {
+    switch (s) {
+        case co::Schedule::TwoPhase: return "TwoPhase";
+        case co::Schedule::ZigzagForward: return "ZigzagForward";
+        case co::Schedule::ZigzagSegmented: return "ZigzagSegmented";
+        case co::Schedule::ZigzagMap: return "ZigzagMap";
+        case co::Schedule::Layered: return "Layered";
+    }
+    return "?";
+}
+
+const ir::TransformPhase* phase_named(const ir::TransformVerdict& v, const std::string& name) {
+    for (const ir::TransformPhase& p : v.phases)
+        if (p.name == name) return &p;
+    return nullptr;
+}
+
+/// Minimal synthetic trace: one iteration (iterations = 2 so the measured
+/// iteration is the one we emit into), one phase, P lanes, MsgWord storage.
+ir::Trace synthetic_trace(int parallelism, std::int32_t words) {
+    ir::Trace tr;
+    tr.schedule = co::Schedule::TwoPhase;
+    tr.dims.parallelism = parallelism;
+    tr.dims.iterations = 2;
+    tr.phase_names = {"check"};
+    tr.space_size.assign(ir::kSpaceCount, 0);
+    tr.space_size[static_cast<std::size_t>(ir::Space::MsgWord)] = words;
+    return tr;
+}
+
+ir::Event ev(ir::Access a, std::int32_t index, std::int32_t unit) {
+    ir::Event e;
+    e.access = a;
+    e.space = ir::Space::MsgWord;
+    e.index = index;
+    e.unit = unit;
+    return e;
+}
+
+/// Identity certificate for a trace whose events already carry the
+/// (lane, step) coordinates we want to claim.
+ir::ScheduleRewrite identity_rewrite(const ir::Trace& tr) {
+    ir::ScheduleRewrite rw;
+    rw.schedule = tr.schedule;
+    rw.dims = tr.dims;
+    for (std::size_t i = 0; i < tr.events.size(); ++i) {
+        rw.perm.push_back(static_cast<std::int64_t>(i));
+        rw.lane.push_back(tr.events[i].lane);
+        rw.step.push_back(tr.events[i].step);
+    }
+    return rw;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- golden trace pins --
+
+TEST(IrGoldenTrace, CanonicalTraceDigestsArePinned) {
+    // The transformer's certificates are permutations of event *indices*
+    // into these traces; a builder change that reorders or reshapes events
+    // must show up here, not as a silently stale certificate.
+    for (const TracePin& pin : kTracePins) {
+        const ir::Trace tr = ir::build_schedule_trace(pin.schedule, ir::TraceDims{});
+        const std::uint64_t got = trace_digest(tr);
+        EXPECT_EQ(got, pin.digest)
+            << "actual pin: {co::Schedule::" << schedule_enum_name(pin.schedule) << ", 0x"
+            << std::hex << got << "ULL},";
+    }
+}
+
+// ------------------------------------------------- per-schedule verdicts --
+
+TEST(Transform, EveryScheduleReachesGroupParallel) {
+    for (co::Schedule s : kAllSchedules) {
+        const ir::TransformVerdict& v = ir::transform_schedule(s);
+        EXPECT_EQ(v.schedule, s);
+        EXPECT_TRUE(v.group_parallel()) << co::to_string(s);
+        EXPECT_TRUE(ir::group_parallel_supported(s)) << co::to_string(s);
+        EXPECT_FALSE(v.phases.empty()) << co::to_string(s);
+        EXPECT_FALSE(v.summary().empty()) << co::to_string(s);
+
+        const bool native =
+            s == co::Schedule::TwoPhase || s == co::Schedule::ZigzagSegmented;
+        EXPECT_EQ(v.native_group_parallel, native) << co::to_string(s);
+        EXPECT_EQ(v.certified, !native) << co::to_string(s);
+        EXPECT_EQ(v.rewrite.has_value(), !native) << co::to_string(s);
+        if (!native) {
+            EXPECT_FALSE(v.obstruction.empty()) << co::to_string(s);
+        }
+    }
+}
+
+TEST(Transform, TransformedIterationShapesMatchTheChainStructure) {
+    // The serial-chain schedules become legal by serializing the chain-
+    // bearing phase onto one lane (m = 12 steps at canonical dims) while
+    // the independent variable phase compacts across the P lanes.
+    const ir::TraceDims dims;
+    const int m = dims.m();
+
+    const ir::TransformVerdict& fwd = ir::transform_schedule(co::Schedule::ZigzagForward);
+    const ir::TransformPhase* p = phase_named(fwd, "check");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->steps, m);
+    EXPECT_EQ(p->max_group, 1);
+    p = phase_named(fwd, "variable");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->steps, 1);
+    EXPECT_GT(p->max_group, 1);
+
+    const ir::TransformVerdict& map = ir::transform_schedule(co::Schedule::ZigzagMap);
+    for (const char* name : {"check-forward", "check-backward"}) {
+        p = phase_named(map, name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_EQ(p->steps, m) << name;
+        EXPECT_EQ(p->max_group, 1) << name;
+    }
+
+    const ir::TransformVerdict& lay = ir::transform_schedule(co::Schedule::Layered);
+    p = phase_named(lay, "layered");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->steps, m);
+    EXPECT_EQ(p->max_group, 1);
+}
+
+TEST(Transform, StoredCertificatesSurviveIndependentReplay) {
+    // Translation validation: re-run the from-scratch certifier on every
+    // stored certificate against a freshly built trace.
+    for (co::Schedule s : kAllSchedules) {
+        const ir::TransformVerdict& v = ir::transform_schedule(s);
+        if (!v.rewrite) continue;
+        const ir::Trace tr = ir::build_schedule_trace(s, v.rewrite->dims);
+        const ir::RewriteCheck check = ir::check_rewrite(tr, *v.rewrite);
+        EXPECT_TRUE(check.ok) << co::to_string(s) << ": "
+                              << (check.rejection ? check.rejection->reason : "");
+        EXPECT_TRUE(check.transformed.lockstep_legal) << co::to_string(s);
+    }
+}
+
+// ------------------------------------------------------ search behaviour --
+
+TEST(TransformSearch, IndependentUnitsCompactIntoOneLockstepStep) {
+    // P independent atoms (one def each, disjoint words) must pack one per
+    // lane at step 0: full compaction, no serialization.
+    ir::Trace tr = synthetic_trace(4, 4);
+    for (int u = 0; u < 4; ++u) tr.events.push_back(ev(ir::Access::Def, u, u));
+    const auto rw = ir::search_lockstep_rewrite(tr);
+    ASSERT_TRUE(rw.has_value());
+    const ir::RewriteCheck check = ir::check_rewrite(tr, *rw);
+    ASSERT_TRUE(check.ok) << (check.rejection ? check.rejection->reason : "");
+    for (std::int32_t st : rw->step) EXPECT_EQ(st, 0);
+}
+
+TEST(TransformSearch, AnnealingBeatsGreedyLptPacking) {
+    // Five dependence chains of {5,5,4,3,3} atoms on P=2 lanes: greedy LPT
+    // packs to a makespan of 11 steps ({5,4} vs {5,3,3} -> 9/11), the
+    // annealed optimum is 10 ({5,5} vs {4,3,3}). The search must reach 10.
+    ir::Trace tr = synthetic_trace(2, 32);
+    const int chain_sizes[] = {5, 5, 4, 3, 3};
+    std::int32_t word = 0;
+    std::int32_t unit = 0;
+    for (int len : chain_sizes) {
+        tr.events.push_back(ev(ir::Access::Def, word, unit++));
+        for (int i = 1; i < len; ++i) {
+            tr.events.push_back(ev(ir::Access::Use, word, unit));
+            tr.events.push_back(ev(ir::Access::Def, ++word, unit++));
+        }
+        ++word;  // next chain starts on a fresh word
+    }
+    const auto rw = ir::search_lockstep_rewrite(tr);
+    ASSERT_TRUE(rw.has_value());
+    const ir::RewriteCheck check = ir::check_rewrite(tr, *rw);
+    ASSERT_TRUE(check.ok) << (check.rejection ? check.rejection->reason : "");
+    std::int32_t makespan = 0;
+    for (std::int32_t st : rw->step) makespan = std::max(makespan, st + 1);
+    EXPECT_EQ(makespan, 10);
+}
+
+TEST(TransformSearch, BudgetExceededDegradesToFramePerLane) {
+    // A trace above the search budget yields no certificate; the engine
+    // then falls back to the frame-per-lane verdict, which every schedule
+    // keeps (all state is frame-local) — never to an uncertified claim.
+    const ir::Trace tr = ir::build_schedule_trace(co::Schedule::Layered, ir::TraceDims{});
+    ir::TransformOptions opts;
+    opts.max_events = 1;
+    EXPECT_FALSE(ir::search_lockstep_rewrite(tr, opts).has_value());
+    EXPECT_TRUE(ir::classify_schedule(co::Schedule::Layered).frame_per_lane_legal);
+}
+
+// -------------------------------------------------- certifier rejections --
+
+TEST(TransformCertifier, TruncatedCertificateIsRejected) {
+    ir::Trace tr = synthetic_trace(4, 4);
+    for (int u = 0; u < 4; ++u) tr.events.push_back(ev(ir::Access::Def, u, u));
+    auto rw = *ir::search_lockstep_rewrite(tr);
+    rw.perm.pop_back();
+    rw.lane.pop_back();
+    rw.step.pop_back();
+    const ir::RewriteCheck check = ir::check_rewrite(tr, rw);
+    ASSERT_FALSE(check.ok);
+    EXPECT_NE(check.rejection->reason.find("do not cover the trace"), std::string::npos)
+        << check.rejection->reason;
+}
+
+TEST(TransformCertifier, DroppedAndDuplicatedEventsAreRejectedByName) {
+    ir::Trace tr = synthetic_trace(4, 4);
+    for (int u = 0; u < 4; ++u) tr.events.push_back(ev(ir::Access::Def, u, u));
+    auto rw = *ir::search_lockstep_rewrite(tr);
+    // Full-length permutation that emits event 0 twice and drops another.
+    std::int64_t dropped = -1;
+    for (std::size_t p = 0; p < rw.perm.size(); ++p)
+        if (rw.perm[p] != 0) {
+            dropped = rw.perm[p];
+            rw.perm[p] = 0;
+            break;
+        }
+    ASSERT_GE(dropped, 0);
+    const ir::RewriteCheck check = ir::check_rewrite(tr, rw);
+    ASSERT_FALSE(check.ok);
+    const std::string& reason = check.rejection->reason;
+    EXPECT_TRUE(reason.find("emitted twice") != std::string::npos ||
+                reason.find("dropped from the rewrite") != std::string::npos)
+        << reason;
+    // The rejection names the offending event.
+    EXPECT_NE(reason.find("msg-word"), std::string::npos) << reason;
+    EXPECT_GE(check.rejection->event, 0);
+}
+
+TEST(TransformCertifier, SerialUnitReorderIsRejectedByName) {
+    // Two defs by the same unit: reversing them breaks the serial-FU
+    // program order even though both land on one lane.
+    ir::Trace tr = synthetic_trace(1, 2);
+    tr.events.push_back(ev(ir::Access::Def, 0, 0));
+    tr.events.push_back(ev(ir::Access::Def, 1, 0));
+    tr.events[0].lane = tr.events[1].lane = 0;
+    tr.events[0].step = tr.events[1].step = 0;
+    ir::ScheduleRewrite rw = identity_rewrite(tr);
+    std::swap(rw.perm[0], rw.perm[1]);
+    const ir::RewriteCheck check = ir::check_rewrite(tr, rw);
+    ASSERT_FALSE(check.ok);
+    EXPECT_NE(check.rejection->reason.find("serial functional unit"), std::string::npos)
+        << check.rejection->reason;
+    EXPECT_GE(check.rejection->event, 0);
+}
+
+TEST(TransformCertifier, ViolatedDefUseEdgeIsRejectedByName) {
+    // Two different units def the same word, a third reads it. Swapping the
+    // defs silently changes the reaching definition of the use — exactly
+    // the class of rewrite that would break scalar bit-exactness.
+    ir::Trace tr = synthetic_trace(1, 1);
+    tr.events.push_back(ev(ir::Access::Def, 0, 0));
+    tr.events.push_back(ev(ir::Access::Def, 0, 1));
+    tr.events.push_back(ev(ir::Access::Use, 0, 2));
+    for (std::size_t i = 0; i < tr.events.size(); ++i) {
+        tr.events[i].lane = 0;
+        tr.events[i].step = static_cast<std::int32_t>(i);
+    }
+    ir::ScheduleRewrite rw = identity_rewrite(tr);
+    std::swap(rw.perm[0], rw.perm[1]);  // emit unit 1's def before unit 0's
+    std::swap(rw.step[0], rw.step[1]);  // keep the emission step-major
+    const ir::RewriteCheck check = ir::check_rewrite(tr, rw);
+    ASSERT_FALSE(check.ok);
+    const std::string& reason = check.rejection->reason;
+    EXPECT_TRUE(reason.find("different reaching definition") != std::string::npos ||
+                reason.find("final definition") != std::string::npos)
+        << reason;
+    EXPECT_NE(reason.find("msg-word"), std::string::npos) << reason;
+    EXPECT_GE(check.rejection->event, 0);
+}
+
+TEST(TransformCertifier, CrossLaneChainDependenceFailsTheReplay) {
+    // A def-use chain split across two lanes at the same step passes every
+    // structural check but must fail the final lockstep replay.
+    ir::Trace tr = synthetic_trace(2, 2);
+    tr.events.push_back(ev(ir::Access::Def, 0, 0));
+    tr.events.push_back(ev(ir::Access::Use, 0, 1));
+    ir::ScheduleRewrite rw = identity_rewrite(tr);
+    rw.lane = {0, 1};
+    rw.step = {0, 0};
+    const ir::RewriteCheck check = ir::check_rewrite(tr, rw);
+    ASSERT_FALSE(check.ok);
+    EXPECT_NE(check.rejection->reason.find("lockstep replay"), std::string::npos)
+        << check.rejection->reason;
+}
+
+TEST(TransformCertifier, IterationBarrierCrossingIsRejected) {
+    // Moving an event into a different (iter, phase) block violates the
+    // barrier even when the permutation is a bijection.
+    ir::Trace tr = synthetic_trace(2, 2);
+    tr.events.push_back(ev(ir::Access::Def, 0, 0));
+    tr.events.push_back(ev(ir::Access::Def, 1, 1));
+    tr.events[1].iter = 1;
+    ir::ScheduleRewrite rw = identity_rewrite(tr);
+    std::swap(rw.perm[0], rw.perm[1]);  // iter 1 emitted before iter 0
+    rw.lane = {0, 0};
+    rw.step = {0, 0};
+    const ir::RewriteCheck check = ir::check_rewrite(tr, rw);
+    ASSERT_FALSE(check.ok);
+    EXPECT_NE(check.rejection->reason.find("barrier"), std::string::npos)
+        << check.rejection->reason;
+}

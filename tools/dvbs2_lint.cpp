@@ -12,6 +12,14 @@
 //   dvbs2_lint --table=my.tbl --rate=1/2          # external table file
 //   dvbs2_lint --rate=3/4 --check-rule=offset --offset=8.0   # bad config demo
 //   dvbs2_lint --rate=1/2 --only=schedule.dataflow   # one rule family only
+//   dvbs2_lint --rate=1/2 --schedule=layered         # lint a single schedule
+//
+// Exit-code contract (stable, scripted against by CI and the exit-code
+// tests in tools/CMakeLists.txt):
+//   0  every selected rule family ran and produced no error finding
+//   1  at least one error finding (notes/warnings alone stay 0)
+//   2  usage or I/O failure (unknown flag value, unreadable table file);
+//      nothing was linted
 
 #include <fstream>
 #include <iostream>
@@ -64,7 +72,10 @@ int usage(const std::string& msg) {
               << "                  [--banks=N] [--writes=N] [--latency=N] [--buffer-depth=N]\n"
               << "                  [--no-anneal] [--bits=N --frac=N]\n"
               << "                  [--schedule=S] [--check-rule=R] [--normalization=X] "
-                 "[--offset=X]\n";
+                 "[--offset=X]\n"
+              << "  --schedule=S lints one schedule (two-phase|zigzag|zigzag-segmented|\n"
+              << "               zigzag-map|layered); default zigzag\n"
+              << "exit status: 0 clean, 1 error findings, 2 usage/IO failure\n";
     return 2;
 }
 
