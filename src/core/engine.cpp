@@ -75,6 +75,11 @@ void validate_engine_spec(const EngineSpec& spec) {
 Engine::~Engine() = default;
 
 void Engine::record(const DecodeResult& r) {
+    // stats_mu_ serializes the recording against convergence_snapshot()
+    // pollers on other threads; decode_* itself stays single-writer. The
+    // lock is per frame (not per iteration) and uncontended in every
+    // single-threaded use, so it costs nothing measurable on the hot path.
+    const std::lock_guard<std::mutex> lock(stats_mu_);
     // Lazily sized on the first recorded frame: config() is virtual, so the
     // base constructor cannot call it. reserve_iterations presizes the
     // histogram to 0..max_iterations, making steady-state record() calls
@@ -83,17 +88,60 @@ void Engine::record(const DecodeResult& r) {
     stats_.record(r.iterations, r.converged);
 }
 
+ConvergenceStats Engine::convergence_snapshot() const {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+}
+
+namespace {
+
+/// One diagnostic shape for every frame-length mismatch: names the actual
+/// span size, the engine's N and (for batches) the expected relation.
+void require_frame_span(std::size_t actual, std::size_t n, const char* entry) {
+    DVBS2_REQUIRE(actual == n, std::string(entry) + ": channel span has " +
+                                   std::to_string(actual) +
+                                   " values but this engine decodes frames of N=" +
+                                   std::to_string(n) + " (expected span size == N)");
+}
+
+}  // namespace
+
 void Engine::decode_into(std::span<const double> llr, DecodeResult& out) {
+    if (const std::size_t n = frame_length(); n > 0) require_frame_span(llr.size(), n, "decode_into");
     do_decode_into(llr, out);
     record(out);
 }
 
 void Engine::decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) {
+    if (const std::size_t n = frame_length(); n > 0)
+        require_frame_span(qllr.size(), n, "decode_raw_into");
     do_decode_raw_into(qllr, out);
     record(out);
 }
 
 void Engine::decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) {
+    // Validate both spans against each other (and against N when the
+    // backend declares one) before any backend code runs, so scalar and
+    // SIMD engines reject a mismatched call with the same diagnostic: the
+    // error names both actual sizes and the relation they must satisfy.
+    const std::size_t frames = out.size();
+    DVBS2_REQUIRE(frames > 0, "decode_batch: out.size()=0 result slots for llrs.size()=" +
+                                  std::to_string(llrs.size()) +
+                                  " LLR values (expected llrs.size() == out.size() * N with "
+                                  "out.size() >= 1)");
+    if (const std::size_t n = frame_length(); n > 0) {
+        DVBS2_REQUIRE(llrs.size() == frames * n,
+                      "decode_batch: llrs.size()=" + std::to_string(llrs.size()) +
+                          " does not match out.size()=" + std::to_string(frames) +
+                          " frames of N=" + std::to_string(n) +
+                          " (expected llrs.size() == out.size() * N = " +
+                          std::to_string(frames * n) + ")");
+    } else {
+        DVBS2_REQUIRE(llrs.size() % frames == 0,
+                      "decode_batch: llrs.size()=" + std::to_string(llrs.size()) +
+                          " is not a multiple of out.size()=" + std::to_string(frames) +
+                          " frames (expected llrs.size() == out.size() * frame length)");
+    }
     do_decode_batch(llrs, out);
     for (const DecodeResult& r : out) record(r);
 }
@@ -105,10 +153,8 @@ void Engine::do_decode_raw_into(std::span<const quant::QLLR> /*qllr*/, DecodeRes
 }
 
 void Engine::do_decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) {
+    // Spans were validated by the public decode_batch wrapper.
     const std::size_t b = out.size();
-    DVBS2_REQUIRE(b > 0, "decode_batch needs at least one result slot");
-    DVBS2_REQUIRE(llrs.size() % b == 0,
-                  "batch LLR length must be frame-count * frame-length");
     const std::size_t n = llrs.size() / b;
     for (std::size_t f = 0; f < b; ++f) do_decode_into(llrs.subspan(f * n, n), out[f]);
 }
@@ -122,6 +168,8 @@ DecodeResult Engine::decode(std::span<const double> llr) {
 const quant::QuantSpec* Engine::quant_spec() const noexcept { return nullptr; }
 
 int Engine::preferred_batch() const noexcept { return 1; }
+
+std::size_t Engine::frame_length() const noexcept { return 0; }
 
 void Engine::set_cn_order(std::vector<int> /*order*/) {
     throw std::runtime_error("per-check-node input orders require a scalar engine "
@@ -167,6 +215,7 @@ public:
     const DecoderConfig& config() const noexcept override { return spec_.config; }
     Arithmetic arithmetic() const noexcept override { return Arithmetic::Float; }
     std::string backend_name() const override { return "float-scalar"; }
+    std::size_t frame_length() const noexcept override { return ws_.staging.size(); }
 
     void set_cn_order(std::vector<int> order) override { mp_.set_cn_order(std::move(order)); }
 
@@ -207,6 +256,7 @@ public:
     Arithmetic arithmetic() const noexcept override { return Arithmetic::Fixed; }
     const quant::QuantSpec* quant_spec() const noexcept override { return &spec_.quant; }
     std::string backend_name() const override { return "fixed-scalar"; }
+    std::size_t frame_length() const noexcept override { return ws_.staging.size(); }
 
     void set_cn_order(std::vector<int> order) override { mp_.set_cn_order(std::move(order)); }
 
@@ -267,6 +317,7 @@ public:
     std::string backend_name() const override {
         return std::string("fixed-simd(") + simd_backend_name() + ")";
     }
+    std::size_t frame_length() const noexcept override { return ws_.staging.size(); }
     int preferred_batch() const noexcept override {
         // Several lane blocks per call, not one: lane compaction only has
         // frames to splice into retired lanes when the batch outnumbers the
@@ -298,10 +349,10 @@ protected:
     }
 
     void do_decode_batch(std::span<const double> llrs, std::span<DecodeResult> out) override {
+        // Spans were validated by the public decode_batch wrapper (this
+        // engine declares frame_length(), so llrs.size() == b * n here).
         const std::size_t b = out.size();
         const std::size_t n = ws_.staging.size();
-        DVBS2_REQUIRE(b > 0, "decode_batch needs at least one result slot");
-        DVBS2_REQUIRE(llrs.size() == b * n, "batch LLR length must be frame-count * N");
         if (!batch_ || has_observer_) {
             // Group-parallel lane mode, or tracing: decode frame by frame so
             // observers see one frame's iterations at a time, in order.

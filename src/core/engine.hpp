@@ -15,7 +15,10 @@
 // built for (the code must outlive it) and owns all of its mutable state —
 // message memories, staging buffers, batch blocks — in a workspace reused
 // across calls. Engines are therefore stateful and NOT thread-safe: build
-// one engine per worker (see comm/parallel.hpp). After a first call has
+// one engine per worker (see comm/parallel.hpp and service/service.hpp).
+// The single supported cross-thread operation is convergence_snapshot(),
+// which a metrics poller may call while the owning thread decodes — every
+// other member requires the single-writer discipline. After a first call has
 // sized the workspace and the caller's DecodeResult, steady-state
 // decode_into / decode_batch calls perform no heap allocation (pinned by
 // tests/test_alloc.cpp); installing an observer waives that guarantee
@@ -24,6 +27,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -87,10 +91,29 @@ public:
     /// identical across backends whenever the per-frame results are —
     /// which the convergence tier pins. Allocation-free in steady state
     /// (the histogram is sized to max_iterations on first use).
+    ///
+    /// SINGLE-WRITER CONTRACT: engines are single-writer objects — at most
+    /// one thread may drive decode_* at any time. This accessor returns a
+    /// reference into live telemetry and is only valid on that same thread
+    /// (or while no decode is in flight): a *different* thread polling it
+    /// mid-decode can observe a torn update (histogram bumped, frame count
+    /// not yet). Concurrent readers — e.g. a service metrics poller watching
+    /// a worker's engine — must use convergence_snapshot() instead.
     const ConvergenceStats& convergence() const noexcept { return stats_; }
 
-    /// Zeroes the telemetry (keeps the histogram storage).
-    void reset_convergence() noexcept { stats_.reset(); }
+    /// Coherent copy of the telemetry, safe to call from any thread while
+    /// another thread drives decode_* on this engine: the snapshot is taken
+    /// under the same lock the recording path holds, so the counts are never
+    /// torn (pinned by the tsan tier in tests/test_service.cpp). The copy
+    /// allocates; poll it at metrics cadence, not per frame.
+    ConvergenceStats convergence_snapshot() const;
+
+    /// Zeroes the telemetry (keeps the histogram storage). Writer-side
+    /// operation: call it from the decoding thread, like decode_* itself.
+    void reset_convergence() noexcept {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.reset();
+    }
 
     /// Installs a per-iteration diagnostics observer (empty disables).
     /// Observers must not change any decode result; batched calls fall back
@@ -109,6 +132,13 @@ public:
     /// Preferred number of frames per decode_batch call (the lane count of
     /// frame-parallel backends; 1 where batching only amortizes setup).
     virtual int preferred_batch() const noexcept;
+
+    /// Channel-frame length N this engine decodes, or 0 when the backend
+    /// does not declare one (externally registered engines that predate this
+    /// hook). When nonzero, the public decode entry points validate every
+    /// span against it up front, so mismatch diagnostics name the actual
+    /// sizes and the expected relation in one place.
+    virtual std::size_t frame_length() const noexcept;
 
     // --- diagnostic hooks implemented by a subset of engines; the default
     // --- implementations throw std::runtime_error naming the limitation ---
@@ -138,6 +168,10 @@ protected:
 private:
     void record(const DecodeResult& r);
 
+    /// Serializes stats_ between the (single) decoding thread's record()
+    /// calls and concurrent convergence_snapshot() readers. Uncontended in
+    /// every single-threaded use; one lock per *frame* on the decode path.
+    mutable std::mutex stats_mu_;
     ConvergenceStats stats_;
 };
 

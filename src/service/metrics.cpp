@@ -1,0 +1,46 @@
+#include "service/metrics.hpp"
+
+#include <cmath>
+
+namespace dvbs2::service {
+
+void LatencyHistogram::record_seconds(double seconds) noexcept {
+    if (!(seconds > 0.0)) {  // negatives/NaN clamp into the first bucket
+        ++counts[0];
+        ++total;
+        return;
+    }
+    const double us = seconds * 1e6;
+    int bucket = 0;
+    if (us >= 1.0) {
+        // [2^(i-1), 2^i) µs → bucket i: ilogb gives the binary exponent.
+        bucket = std::ilogb(us) + 1;
+        if (bucket >= kBuckets) bucket = kBuckets - 1;
+    }
+    ++counts[static_cast<std::size_t>(bucket)];
+    ++total;
+}
+
+double LatencyHistogram::percentile(double p) const noexcept {
+    if (total == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    const double target = p * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += counts[static_cast<std::size_t>(i)];
+        if (static_cast<double>(seen) >= target) {
+            // Upper edge of bucket i in seconds: 2^i µs (bucket 0 → 1 µs).
+            return std::ldexp(1e-6, i);
+        }
+    }
+    return std::ldexp(1e-6, kBuckets - 1);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) noexcept {
+    for (int i = 0; i < kBuckets; ++i)
+        counts[static_cast<std::size_t>(i)] += o.counts[static_cast<std::size_t>(i)];
+    total += o.total;
+}
+
+}  // namespace dvbs2::service

@@ -29,6 +29,15 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
     std::future<void> fut = task.get_future();
     {
         std::lock_guard<std::mutex> lock(mu_);
+        // Once the destructor has begun (stopping_), workers exit as soon as
+        // the queue they observe is empty — a job enqueued now may never be
+        // drained, and its future would never become ready. Refuse loudly
+        // instead of accepting work into the void (regression-tested in
+        // tests/test_thread_pool.cpp).
+        if (stopping_)
+            throw std::runtime_error(
+                "ThreadPool::submit on a stopping pool (destructor has begun): the job would "
+                "be enqueued after the workers' shutdown drain and never run");
         queue_.push_back(std::move(task));
     }
     cv_.notify_one();
@@ -70,11 +79,20 @@ void ThreadPool::worker_loop() {
 unsigned resolve_thread_count(unsigned requested) {
     if (requested > 0) return requested;
     if (const char* env = std::getenv("DVBS2_THREADS")) {
-        // An empty value counts as unset; anything else must be a valid
-        // positive integer. Malformed input used to fall back silently to
-        // hardware_concurrency, hiding typos like DVBS2_THREADS=8x.
+        // Only the truly empty value counts as unset; anything else must be
+        // a valid positive integer. Malformed input used to fall back
+        // silently to hardware_concurrency, hiding typos like
+        // DVBS2_THREADS=8x. Whitespace-only values ("  ") are malformed too,
+        // not unset — stoll would happen to reject them as "no conversion",
+        // but the contract is pinned here explicitly (with its own
+        // diagnostic) rather than leaning on parse_int internals
+        // (tests/test_thread_pool.cpp).
         const std::string text(env);
         if (!text.empty()) {
+            DVBS2_REQUIRE(text.find_first_not_of(" \t\n\r\f\v") != std::string::npos,
+                          "DVBS2_THREADS is whitespace-only (\"" + text +
+                              "\"); unset it or export DVBS2_THREADS= (empty) to fall back to "
+                              "hardware concurrency");
             const long long v = parse_int(text, "DVBS2_THREADS");
             DVBS2_REQUIRE(v > 0 && v <= 4096,
                           "DVBS2_THREADS must be in [1, 4096], got \"" + text + "\"");

@@ -33,6 +33,9 @@ public:
     unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
     /// Enqueues `job`; the future delivers the job's exception, if any.
+    /// Throws std::runtime_error if the pool's destructor has already begun
+    /// (the job could never run — workers only drain jobs accepted before
+    /// shutdown started).
     std::future<void> submit(std::function<void()> job);
 
     /// Runs `job(worker_index)` for worker_index in [0, n) and blocks until
@@ -55,7 +58,9 @@ private:
 /// DVBS2_THREADS environment variable if set (non-empty), else
 /// std::thread::hardware_concurrency() (at least 1). Throws
 /// std::runtime_error when DVBS2_THREADS is set but is not a valid integer
-/// in [1, 4096] — a typo must not silently change the worker count.
+/// in [1, 4096] — a typo must not silently change the worker count. Only
+/// the truly empty string counts as unset; a whitespace-only value is
+/// malformed like any other non-numeric text and throws.
 unsigned resolve_thread_count(unsigned requested);
 
 }  // namespace dvbs2::util

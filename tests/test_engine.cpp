@@ -11,10 +11,14 @@
 //     vs SIMD frame-per-lane, single-frame vs batched, on the toy code for
 //     every schedule and on all eleven standard rates;
 //   * Monte-Carlo tally equality — simulate_point_engine reproduces the
-//     DecodeFactory path's tallies bit for bit at any thread count.
+//     DecodeFactory path's tallies bit for bit at any thread count;
+//   * span-mismatch diagnostics — decode_into/decode_batch reject wrong-size
+//     spans naming both actual sizes and the expected relation, identically
+//     on the scalar and SIMD backends.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -673,5 +677,96 @@ TEST(EngineProperties, EarlyStopConvergedMatchesFullBudgetCodeword) {
                 EXPECT_GE(converged_seen, 2) << which;
             }
         }
+    }
+}
+
+// --------------------- span-mismatch diagnostics (all backends) ----------
+
+namespace {
+
+/// Runs `f`, expecting a std::runtime_error; returns its message.
+std::string batch_error(const std::function<void()>& f) {
+    try {
+        f();
+    } catch (const std::runtime_error& e) {
+        return e.what();
+    }
+    return "";
+}
+
+std::vector<dd::EngineSpec> validating_specs() {
+    dd::EngineSpec scalar;  // fixed scalar
+    dd::EngineSpec simd;
+    simd.config.backend = dd::DecoderBackend::Simd;
+    dd::EngineSpec flt;
+    flt.arith = dd::Arithmetic::Float;
+    return {scalar, simd, flt};
+}
+
+}  // namespace
+
+TEST(EngineBatchValidation, EveryBackendDeclaresFrameLength) {
+    const auto& code = toy_code();
+    for (const auto& spec : validating_specs()) {
+        const auto eng = dd::make_engine(code, spec);
+        EXPECT_EQ(eng->frame_length(), static_cast<std::size_t>(code.n()))
+            << eng->backend_name();
+    }
+}
+
+TEST(EngineBatchValidation, MismatchNamesBothSizesAndExpectedRelation) {
+    // Regression: a mismatched decode_batch call used to fail deep inside a
+    // backend (or silently decode garbage lanes on the SIMD path) without
+    // naming the sizes involved. The public entry point must reject it with
+    // a diagnostic carrying llrs.size(), out.size(), N and the product —
+    // identically for the scalar AND SIMD engines.
+    const auto& code = toy_code();
+    const auto n = static_cast<std::size_t>(code.n());
+    for (const auto& spec : validating_specs()) {
+        const auto eng = dd::make_engine(code, spec);
+        const std::string name = eng->backend_name();
+        std::vector<double> llrs(2 * n - 1, 0.5);  // one value short of 2 frames
+        std::vector<dd::DecodeResult> out(2);
+        const std::string msg = batch_error([&] {
+            eng->decode_batch(llrs, out);
+        });
+        ASSERT_FALSE(msg.empty()) << name << ": mismatched batch did not throw";
+        EXPECT_NE(msg.find("decode_batch"), std::string::npos) << name << ": " << msg;
+        EXPECT_NE(msg.find("llrs.size()=" + std::to_string(2 * n - 1)), std::string::npos)
+            << name << ": " << msg;
+        EXPECT_NE(msg.find("out.size()=2"), std::string::npos) << name << ": " << msg;
+        EXPECT_NE(msg.find("N=" + std::to_string(n)), std::string::npos) << name << ": " << msg;
+        EXPECT_NE(msg.find("= " + std::to_string(2 * n)), std::string::npos)
+            << name << ": expected product missing: " << msg;
+    }
+}
+
+TEST(EngineBatchValidation, ZeroResultSlotsNamesBothSizes) {
+    const auto& code = toy_code();
+    const auto n = static_cast<std::size_t>(code.n());
+    for (const auto& spec : validating_specs()) {
+        const auto eng = dd::make_engine(code, spec);
+        std::vector<double> llrs(n, 0.5);
+        const std::string msg = batch_error([&] {
+            eng->decode_batch(llrs, std::span<dd::DecodeResult>{});
+        });
+        ASSERT_FALSE(msg.empty()) << eng->backend_name();
+        EXPECT_NE(msg.find("out.size()=0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("llrs.size()=" + std::to_string(n)), std::string::npos) << msg;
+    }
+}
+
+TEST(EngineBatchValidation, SingleFrameSpanMismatchNamesN) {
+    const auto& code = toy_code();
+    const auto n = static_cast<std::size_t>(code.n());
+    for (const auto& spec : validating_specs()) {
+        const auto eng = dd::make_engine(code, spec);
+        std::vector<double> llr(n + 3, 0.5);
+        dd::DecodeResult out;
+        const std::string msg = batch_error([&] { eng->decode_into(llr, out); });
+        ASSERT_FALSE(msg.empty()) << eng->backend_name();
+        EXPECT_NE(msg.find("decode_into"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(n + 3)), std::string::npos) << msg;
+        EXPECT_NE(msg.find("N=" + std::to_string(n)), std::string::npos) << msg;
     }
 }

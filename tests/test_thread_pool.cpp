@@ -7,11 +7,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/prng.hpp"
@@ -37,6 +40,44 @@ TEST(ThreadPool, DestructorDrainsPendingJobs) {
             pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
     }  // jobs accepted before destruction must complete, not vanish
     EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, SubmitAfterDestructorBeganThrows) {
+    // Regression: submit on a pool whose destructor had already set
+    // stopping_ used to enqueue into a queue no worker would ever drain —
+    // the job silently never ran and its future never became ready. It must
+    // throw instead, naming the pool state.
+    auto pool = std::make_unique<ThreadPool>(1);
+    // The unique_ptr nulls itself before ~ThreadPool runs, so keep the raw
+    // pointer: the pool object stays alive until its (blocked) destructor
+    // body returns, which is exactly the window this regression lives in.
+    ThreadPool* raw = pool.get();
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    // Occupy the single worker so the destructor blocks in join() with
+    // stopping_ == true while we keep submitting from this thread.
+    auto busy = raw->submit([gate] { gate.wait(); });
+    std::thread destroyer([&pool] { pool.reset(); });
+    // Jobs accepted before stopping_ flips are drained by the destructor;
+    // the first submit that observes the stopping pool must throw. This
+    // terminates because the destructor sets stopping_ as soon as it takes
+    // the queue mutex once.
+    bool threw = false;
+    std::string message;
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!threw && std::chrono::steady_clock::now() < deadline) {
+        try {
+            (void)raw->submit([] {});
+        } catch (const std::runtime_error& e) {
+            threw = true;
+            message = e.what();
+        }
+        std::this_thread::yield();  // let the destroyer take the queue mutex
+    }
+    release.set_value();  // let the worker finish so the destructor completes
+    destroyer.join();
+    ASSERT_TRUE(threw) << "submit never observed the stopping pool";
+    EXPECT_NE(message.find("stopping"), std::string::npos) << message;
 }
 
 TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
@@ -103,6 +144,28 @@ TEST(ResolveThreadCount, EnvOverrideAppliesWhenAuto) {
     EXPECT_GE(dvbs2::util::resolve_thread_count(0), 1u);
     unsetenv("DVBS2_THREADS");
     EXPECT_GE(dvbs2::util::resolve_thread_count(0), 1u);
+}
+
+TEST(ResolveThreadCount, WhitespaceOnlyEnvIsMalformedNotUnset) {
+    // Pin the contract between "unset" and "invalid": only the truly empty
+    // string falls back to hardware concurrency (the EnvOverride test
+    // above); any whitespace-only value is malformed like other junk and
+    // must throw, naming the variable. Previously this case rode on stoll's
+    // "no conversion" behavior and was never pinned.
+    for (const char* ws : {" ", "   ", "\t", " \t\n ", "\r\v"}) {
+        ASSERT_EQ(setenv("DVBS2_THREADS", ws, 1), 0);
+        try {
+            (void)dvbs2::util::resolve_thread_count(0);
+            FAIL() << "expected std::runtime_error for whitespace-only DVBS2_THREADS";
+        } catch (const std::runtime_error& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("DVBS2_THREADS"), std::string::npos) << what;
+            EXPECT_NE(what.find("whitespace"), std::string::npos) << what;
+        }
+        // Explicit requests still bypass the environment.
+        EXPECT_EQ(dvbs2::util::resolve_thread_count(3), 3u);
+    }
+    unsetenv("DVBS2_THREADS");
 }
 
 TEST(ResolveThreadCount, MalformedEnvThrowsInsteadOfSilentFallback) {
