@@ -1,0 +1,185 @@
+// E12: the algorithm frontier — BER vs decoded throughput vs mean
+// iterations for the three engine algorithm families (min-sum MP, improved
+// WBF, relaxed half-stochastic BP) over the 2-4 dB Eb/N0 range, measured
+// through the same registry engines and Monte-Carlo harness the service
+// uses. The point of the experiment: the Algorithm axis spans a real
+// price/quality frontier —
+//
+//   * WBF iterations cost a few compare/add passes (no message memories),
+//     so its throughput is an order of magnitude above MP — but it only
+//     corrects few-error patterns, surrendering (0 iterations) at low SNR;
+//   * min-sum MP is the workhorse: near-capacity BER at 30 iterations;
+//   * RHS-BP trades iterations (relaxation slows convergence) for the
+//     BP-grade BER its tracker calibration recovers.
+//
+// The emitted BENCH_frontier.json is the machine-readable frontier that
+// service/sla.hpp consumes: each row is (algorithm, snr_db, ber, mbps,
+// mean_iterations), and the "sla_examples" block shows two SLAs mapping to
+// different algorithms at the same SNR — the routing decision
+// tests/test_service.cpp pins end to end.
+//
+// Flags:
+//   --rate=1/2        code rate
+//   --frames=20       frames per (algorithm, SNR) point (fixed work: early
+//                     stopping on error targets is disabled so throughput
+//                     numbers compare like for like)
+//   --iters=30        MP/WBF iteration budget
+//   --rhs-iters=150   RHS-BP budget (relaxation converges a few times slower)
+//   --threads=1       Monte-Carlo workers
+//   --json=PATH       write BENCH_frontier.json
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "code/tanner.hpp"
+#include "comm/parallel.hpp"
+#include "core/engine.hpp"
+#include "service/sla.hpp"
+#include "util/table.hpp"
+
+using namespace dvbs2;
+
+namespace {
+
+struct Row {
+    core::Algorithm algorithm{};
+    double snr_db = 0.0;
+    double ber = 0.0;
+    double fer = 0.0;
+    double mbps = 0.0;
+    double mean_iterations = 0.0;
+    double converged_fraction = 0.0;
+};
+
+core::EngineSpec spec_for_algorithm(core::Algorithm a, int iters, int rhs_iters) {
+    core::EngineSpec spec;
+    spec.arith = core::Arithmetic::Float;
+    spec.config.backend = core::DecoderBackend::Scalar;
+    spec.config.algorithm = a;
+    spec.config.max_iterations = a == core::Algorithm::RhsBp ? rhs_iters : iters;
+    switch (a) {
+        case core::Algorithm::MinSum:
+            spec.config.rule = core::CheckRule::MinSum;
+            spec.config.schedule = core::Schedule::ZigzagForward;
+            break;
+        case core::Algorithm::Wbf:
+            // Flooding is the only schedule with a WBF analogue (derived by
+            // classify_algorithm; validate_engine_spec enforces it).
+            spec.config.schedule = core::Schedule::TwoPhase;
+            break;
+        case core::Algorithm::RhsBp:
+            spec.config.schedule = core::Schedule::ZigzagForward;
+            break;
+    }
+    return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::CliArgs args(argc, argv, {"rate", "frames", "iters", "rhs-iters", "threads", "json"});
+    const code::CodeRate rate = bench::parse_rate(args.get("rate", "1/2"));
+    const auto frames = static_cast<std::uint64_t>(args.get_int("frames", 20));
+    const int iters = static_cast<int>(args.get_int("iters", 30));
+    const int rhs_iters = static_cast<int>(args.get_int("rhs-iters", 150));
+    const auto threads = static_cast<unsigned>(args.get_int("threads", 1));
+
+    bench::banner("E12", "algorithm frontier: BER vs throughput vs iterations (2-4 dB)");
+    const code::Dvbs2Code code(code::standard_params(rate));
+    const auto k = static_cast<std::uint64_t>(code.k());
+
+    comm::SimConfig cfg;
+    cfg.seed = 1;
+    cfg.threads = threads;
+    // Fixed work per point: disable the error-target early stops so every
+    // (algorithm, SNR) point decodes the same frames and the wall-clock
+    // throughput numbers compare like for like.
+    cfg.limits.max_frames = frames;
+    cfg.limits.min_frames = frames;
+    cfg.limits.target_bit_errors = std::numeric_limits<std::uint64_t>::max();
+    cfg.limits.target_frame_errors = std::numeric_limits<std::uint64_t>::max();
+    bench::SimMeter meter;
+    cfg.progress = meter.hook();
+
+    const std::vector<double> snrs = {2.0, 3.0, 4.0};
+    const std::vector<core::Algorithm> algorithms = {
+        core::Algorithm::MinSum, core::Algorithm::Wbf, core::Algorithm::RhsBp};
+
+    std::vector<Row> rows;
+    util::TextTable table;
+    table.set_header({"algorithm", "Eb/N0 dB", "BER", "FER", "Mbit/s", "mean iters",
+                      "converged %"});
+    for (core::Algorithm a : algorithms) {
+        const core::EngineSpec spec = spec_for_algorithm(a, iters, rhs_iters);
+        for (double snr : snrs) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const comm::BerPoint p = comm::simulate_point_engine(code, spec, snr, cfg);
+            const double dt = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0).count();
+            Row row;
+            row.algorithm = a;
+            row.snr_db = snr;
+            row.ber = p.ber(k);
+            row.fer = p.fer();
+            row.mbps = dt > 0.0
+                           ? static_cast<double>(p.frames * k) / dt / 1e6
+                           : 0.0;
+            row.mean_iterations = p.avg_iterations;
+            row.converged_fraction =
+                p.frames ? static_cast<double>(p.convergence.converged_frames) /
+                               static_cast<double>(p.frames)
+                         : 0.0;
+            rows.push_back(row);
+            table.add_row({core::to_string(a), util::TextTable::num(snr, 1),
+                           bench::sci(row.ber), bench::sci(row.fer),
+                           util::TextTable::num(row.mbps, 2),
+                           util::TextTable::num(row.mean_iterations, 2),
+                           util::TextTable::num(100.0 * row.converged_fraction, 1)});
+        }
+    }
+    table.print(std::cout);
+    meter.print(std::cout);
+
+    // The frontier in the service's own terms: two SLAs at the top of the
+    // measured range mapping to different algorithms.
+    std::vector<service::FrontierRow> frontier;
+    for (const Row& r : rows)
+        frontier.push_back({r.algorithm, r.snr_db, r.ber, r.mbps, r.mean_iterations});
+    const service::SlaTarget bulk{1.0, 0.0};       // throughput-only tenant
+    const service::SlaTarget strict{1e-4, 0.0};    // BER-bound tenant
+    const auto bulk_pick = service::select_algorithm(frontier, 4.0, bulk);
+    const auto strict_pick = service::select_algorithm(frontier, 4.0, strict);
+    std::cout << "\nSLA routing at 4.0 dB: bulk (any BER) -> "
+              << (bulk_pick ? core::to_string(*bulk_pick) : "none")
+              << ", strict (BER <= 1e-4) -> "
+              << (strict_pick ? core::to_string(*strict_pick) : "none") << "\n";
+
+    if (args.has("json")) {
+        std::ofstream os(args.get("json", ""));
+        os << "{\n  \"bench\": \"bench_frontier\",\n"
+           << "  \"rate\": \"" << code::to_string(rate) << "\",\n"
+           << "  \"frames\": " << frames << ",\n  \"iters\": " << iters << ",\n"
+           << "  \"rhs_iters\": " << rhs_iters << ",\n  \"results\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row& r = rows[i];
+            os << "    {\"algorithm\": \"" << core::to_string(r.algorithm)
+               << "\", \"snr_db\": " << r.snr_db << ", \"ber\": " << r.ber
+               << ", \"fer\": " << r.fer << ", \"mbps\": " << r.mbps
+               << ", \"mean_iterations\": " << r.mean_iterations
+               << ", \"converged_fraction\": " << r.converged_fraction << "}"
+               << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n  \"sla_examples\": [\n"
+           << "    {\"snr_db\": 4.0, \"max_ber\": 1.0, \"min_mbps\": 0.0, \"selected\": \""
+           << (bulk_pick ? core::to_string(*bulk_pick) : "none") << "\"},\n"
+           << "    {\"snr_db\": 4.0, \"max_ber\": 1e-4, \"min_mbps\": 0.0, \"selected\": \""
+           << (strict_pick ? core::to_string(*strict_pick) : "none") << "\"}\n"
+           << "  ]\n}\n";
+        std::cout << "wrote " << args.get("json", "") << "\n";
+    }
+    return 0;
+}

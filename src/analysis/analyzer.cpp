@@ -33,6 +33,7 @@ Report lint_configuration(const code::CodeParams& params, const code::IraTables&
         dopts.memory = opts.memory;
         dopts.buffer_depth = opts.buffer_depth;
         dopts.schedule = opts.decoder.schedule;
+        dopts.algorithm = opts.decoder.algorithm;
         rep.merge(lint_dataflow(code, mapping, dopts));
         rep.merge(lint_transform(opts.decoder.schedule));
     } catch (const std::exception& e) {

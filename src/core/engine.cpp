@@ -1,24 +1,34 @@
 // Unified decoder-engine layer: central validation, the engine registry,
-// and the three in-tree engine implementations (float-scalar, fixed-scalar,
-// fixed-simd). The public Decoder/FixedDecoder classes are thin wrappers
+// and the six in-tree engine implementations (min-sum float-scalar,
+// fixed-scalar and fixed-simd; WBF float-scalar and fixed-scalar; RHS-BP
+// float-scalar). The public Decoder/FixedDecoder classes are thin wrappers
 // over make_engine (see decoder.cpp).
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "analysis/ir/analyses.hpp"
 #include "analysis/ir/transform.hpp"
 #include "core/arith.hpp"
 #include "core/mp_decoder.hpp"
+#include "core/rhs_decoder.hpp"
 #include "core/simd/batch_decoder.hpp"
 #include "core/simd/simd_decoder.hpp"
+#include "core/wbf_decoder.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
 namespace dvbs2::core {
+
+std::string to_string(const EngineKey& key) {
+    return std::string("algorithm=") + to_string(key.algorithm) +
+           " arithmetic=" + to_string(key.arith) + " backend=" + to_string(key.backend);
+}
 
 // ------------------------------------------------------------- validation
 
@@ -33,6 +43,31 @@ void validate_engine_spec(const EngineSpec& spec) {
     if (c.rule == CheckRule::OffsetMinSum)
         DVBS2_REQUIRE(c.offset >= 0.0, "offset must be non-negative for rule=offset-min-sum, "
                                        "got " + std::to_string(c.offset));
+    if (c.algorithm == Algorithm::Wbf) {
+        DVBS2_REQUIRE(c.wbf_alpha >= 0.0, "wbf_alpha must be non-negative for algorithm=wbf, "
+                                          "got " + std::to_string(c.wbf_alpha));
+        DVBS2_REQUIRE(c.wbf_theta > 0.0 && c.wbf_theta <= 1.0,
+                      "wbf_theta must be in (0, 1] for algorithm=wbf (1 = single-bit flips), "
+                      "got " + std::to_string(c.wbf_theta));
+        DVBS2_REQUIRE(c.wbf_surrender > 0.0 && c.wbf_surrender <= 1.0,
+                      "wbf_surrender must be in (0, 1] for algorithm=wbf (fraction of checks), "
+                      "got " + std::to_string(c.wbf_surrender));
+    }
+    if (c.algorithm == Algorithm::RhsBp)
+        DVBS2_REQUIRE(c.rhs_beta > 0.0 && c.rhs_beta <= 1.0,
+                      "rhs_beta must be in (0, 1] for algorithm=rhs-bp (1 = no relaxation), "
+                      "got " + std::to_string(c.rhs_beta));
+    // Algorithm × (schedule, backend) legality is derived by the IR layer
+    // (analysis::ir::classify_algorithm), not hardcoded here: the verdicts
+    // come from the same trace analyses that certify the lane mappings.
+    const auto& alg = analysis::ir::classify_algorithm(c.algorithm);
+    DVBS2_REQUIRE(alg.supports(c.schedule),
+                  std::string("algorithm=") + to_string(c.algorithm) + " cannot run schedule=" +
+                      to_string(c.schedule) + ": " + alg.obstruction(c.schedule));
+    if (c.backend == DecoderBackend::Simd)
+        DVBS2_REQUIRE(alg.simd_supported, std::string("algorithm=") + to_string(c.algorithm) +
+                                              " cannot run backend=simd: " +
+                                              alg.simd_obstruction);
     if (spec.arith == Arithmetic::Float) {
         DVBS2_REQUIRE(c.backend != DecoderBackend::Simd,
                       "backend=simd models the fixed-point datapath only; "
@@ -404,6 +439,116 @@ private:
     bool has_observer_ = false;
 };
 
+/// Float weighted-bit-flipping engine: double reliabilities, clamped like
+/// the float MP engine so the flip metric sees the same dynamic range.
+class WbfFloatEngine final : public Engine {
+public:
+    WbfFloatEngine(const code::Dvbs2Code& code, const EngineSpec& spec)
+        : spec_(spec), wbf_(code, spec.config) {
+        ws_.staging.resize(static_cast<std::size_t>(code.n()));
+    }
+
+    void set_observer(std::function<void(const IterationTrace&)> observer) override {
+        wbf_.set_observer(std::move(observer));
+    }
+
+    const DecoderConfig& config() const noexcept override { return spec_.config; }
+    Arithmetic arithmetic() const noexcept override { return Arithmetic::Float; }
+    std::string backend_name() const override { return "wbf-float-scalar"; }
+    std::size_t frame_length() const noexcept override { return ws_.staging.size(); }
+
+protected:
+    void do_decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+            DVBS2_REQUIRE(std::isfinite(llr[i]),
+                          "non-finite channel LLR at index " + std::to_string(i));
+            ws_.staging[i] = util::clamp_llr(llr[i]);
+        }
+        wbf_.decode_into(std::span<const double>(ws_.staging), out);
+    }
+
+private:
+    EngineSpec spec_;
+    WbfDecoder<double> wbf_;
+    DecodeWorkspace<double> ws_;
+};
+
+/// Fixed-point WBF engine: quantized |y| as integer weights, so the flip
+/// metric is integer arithmetic except for the α·|y| term.
+class WbfFixedEngine final : public Engine {
+public:
+    WbfFixedEngine(const code::Dvbs2Code& code, const EngineSpec& spec)
+        : spec_(spec), wbf_(code, spec.config) {
+        ws_.staging.resize(static_cast<std::size_t>(code.n()));
+    }
+
+    void set_observer(std::function<void(const IterationTrace&)> observer) override {
+        wbf_.set_observer(std::move(observer));
+    }
+
+    const DecoderConfig& config() const noexcept override { return spec_.config; }
+    Arithmetic arithmetic() const noexcept override { return Arithmetic::Fixed; }
+    const quant::QuantSpec* quant_spec() const noexcept override { return &spec_.quant; }
+    std::string backend_name() const override { return "wbf-fixed-scalar"; }
+    std::size_t frame_length() const noexcept override { return ws_.staging.size(); }
+
+protected:
+    void do_decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+            DVBS2_REQUIRE(std::isfinite(llr[i]),
+                          "non-finite channel LLR at index " + std::to_string(i));
+            ws_.staging[i] = quant::quantize(llr[i], spec_.quant);
+        }
+        wbf_.decode_into(std::span<const quant::QLLR>(ws_.staging), out);
+    }
+
+    void do_decode_raw_into(std::span<const quant::QLLR> qllr, DecodeResult& out) override {
+        wbf_.decode_into(qllr, out);
+    }
+
+private:
+    EngineSpec spec_;
+    WbfDecoder<quant::QLLR> wbf_;
+    DecodeWorkspace<quant::QLLR> ws_;
+};
+
+/// Relaxed half-stochastic BP engine (float-only: the tracker state is the
+/// analog half of the algorithm).
+class RhsEngine final : public Engine {
+public:
+    RhsEngine(const code::Dvbs2Code& code, const EngineSpec& spec)
+        : spec_(spec), rhs_(code, spec.config) {
+        ws_.staging.resize(static_cast<std::size_t>(code.n()));
+    }
+
+    void set_observer(std::function<void(const IterationTrace&)> observer) override {
+        rhs_.set_observer(std::move(observer));
+    }
+
+    const DecoderConfig& config() const noexcept override { return spec_.config; }
+    Arithmetic arithmetic() const noexcept override { return Arithmetic::Float; }
+    std::string backend_name() const override { return "rhs-float-scalar"; }
+    std::size_t frame_length() const noexcept override { return ws_.staging.size(); }
+
+protected:
+    void do_decode_into(std::span<const double> llr, DecodeResult& out) override {
+        DVBS2_REQUIRE(llr.size() == ws_.staging.size(), "channel length mismatch");
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+            DVBS2_REQUIRE(std::isfinite(llr[i]),
+                          "non-finite channel LLR at index " + std::to_string(i));
+            ws_.staging[i] = util::clamp_llr(llr[i]);
+        }
+        rhs_.decode_into(std::span<const double>(ws_.staging), out);
+    }
+
+private:
+    EngineSpec spec_;
+    RhsBpDecoder rhs_;
+    DecodeWorkspace<double> ws_;
+};
+
 // --------------------------------------------------------------- registry
 
 struct Registry {
@@ -414,21 +559,25 @@ struct Registry {
 Registry& registry() {
     static Registry r;
     static const bool builtins = [] {
-        r.entries.emplace_back(EngineKey{Arithmetic::Float, DecoderBackend::Scalar},
-                               [](const code::Dvbs2Code& code, const EngineSpec& spec) {
-                                   return std::unique_ptr<Engine>(
-                                       std::make_unique<FloatEngine>(code, spec));
-                               });
-        r.entries.emplace_back(EngineKey{Arithmetic::Fixed, DecoderBackend::Scalar},
-                               [](const code::Dvbs2Code& code, const EngineSpec& spec) {
-                                   return std::unique_ptr<Engine>(
-                                       std::make_unique<FixedScalarEngine>(code, spec));
-                               });
-        r.entries.emplace_back(EngineKey{Arithmetic::Fixed, DecoderBackend::Simd},
-                               [](const code::Dvbs2Code& code, const EngineSpec& spec) {
-                                   return std::unique_ptr<Engine>(
-                                       std::make_unique<SimdEngine>(code, spec));
-                               });
+        const auto add = [](const EngineKey& key, auto tag) {
+            using E = typename decltype(tag)::type;
+            r.entries.emplace_back(
+                key, [](const code::Dvbs2Code& code, const EngineSpec& spec) {
+                    return std::unique_ptr<Engine>(std::make_unique<E>(code, spec));
+                });
+        };
+        add({Algorithm::MinSum, Arithmetic::Float, DecoderBackend::Scalar},
+            std::type_identity<FloatEngine>{});
+        add({Algorithm::MinSum, Arithmetic::Fixed, DecoderBackend::Scalar},
+            std::type_identity<FixedScalarEngine>{});
+        add({Algorithm::MinSum, Arithmetic::Fixed, DecoderBackend::Simd},
+            std::type_identity<SimdEngine>{});
+        add({Algorithm::Wbf, Arithmetic::Float, DecoderBackend::Scalar},
+            std::type_identity<WbfFloatEngine>{});
+        add({Algorithm::Wbf, Arithmetic::Fixed, DecoderBackend::Scalar},
+            std::type_identity<WbfFixedEngine>{});
+        add({Algorithm::RhsBp, Arithmetic::Float, DecoderBackend::Scalar},
+            std::type_identity<RhsEngine>{});
         return true;
     }();
     (void)builtins;
@@ -464,12 +613,15 @@ std::vector<EngineKey> registered_engines() {
     std::vector<EngineKey> keys;
     keys.reserve(r.entries.size());
     for (const auto& entry : r.entries) keys.push_back(entry.first);
+    // Sorted by (algorithm, arithmetic, backend), not registration order, so
+    // callers that sweep the registry are deterministic.
+    std::sort(keys.begin(), keys.end());
     return keys;
 }
 
 std::unique_ptr<Engine> make_engine(const code::Dvbs2Code& code, const EngineSpec& spec) {
     validate_engine_spec(spec);
-    const EngineKey key{spec.arith, spec.config.backend};
+    const EngineKey key = engine_key(spec);
     EngineBuilder builder;
     {
         Registry& r = registry();
@@ -481,9 +633,7 @@ std::unique_ptr<Engine> make_engine(const code::Dvbs2Code& code, const EngineSpe
             }
         }
     }
-    DVBS2_REQUIRE(builder != nullptr,
-                  std::string("no engine registered for arithmetic=") + to_string(key.arith) +
-                      " backend=" + to_string(key.backend));
+    DVBS2_REQUIRE(builder != nullptr, "no engine registered for " + to_string(key));
     return builder(code, spec);
 }
 

@@ -1,0 +1,375 @@
+#include "core/rhs_decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/syndrome.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace dvbs2::core {
+
+namespace {
+
+/// Stack bound of the layered sweep's per-CN sign buffer (DVB-S2 max check
+/// degree is 30; mirrors core::kMaxCheckDegree without pulling in the MP
+/// template header).
+constexpr int kMaxDegree = 40;
+
+}  // namespace
+
+RhsBpDecoder::RhsBpDecoder(const code::Dvbs2Code& code, const DecoderConfig& cfg)
+    : code_(&code), cfg_(cfg), beta_(cfg.rhs_beta), seed_(cfg.rhs_seed) {
+    const auto& cp = code.params();
+    DVBS2_REQUIRE(cp.check_deg <= kMaxDegree, "check degree exceeds kMaxDegree");
+    DVBS2_REQUIRE(cfg.max_iterations >= 0, "max_iterations must be non-negative");
+    DVBS2_REQUIRE(beta_ > 0.0 && beta_ <= 1.0,
+                  "rhs_beta must be in (0, 1], got " + std::to_string(beta_));
+    const auto e = static_cast<std::size_t>(cp.e_in());
+    trk_.resize(e);
+    v2c_sign_.resize(e);
+    const auto m = static_cast<std::size_t>(cp.m());
+    down_trk_.resize(m);
+    up_trk_.resize(m);  // up_trk_[M-1] unused (p_{M-1} has degree 1), kept zero
+    ch_in_.resize(static_cast<std::size_t>(cp.k));
+    ch_p_.resize(m);
+    post_in_.resize(static_cast<std::size_t>(cp.k));
+    post_p_.resize(m);
+    if (cfg.schedule == Schedule::TwoPhase) {
+        pn_a_.resize(m);
+        pn_c_.resize(m);
+    }
+    if (cfg.schedule == Schedule::ZigzagSegmented) {
+        DVBS2_REQUIRE(cp.q >= 1, "segmented schedule needs q >= 1");
+        boundary_snapshot_.resize(static_cast<std::size_t>(cp.parallelism));
+    }
+}
+
+double RhsBpDecoder::tracker_llr(double t) {
+    // |t| is kept strictly inside (−1, 1) by the relaxation (β ≤ 1 moves t
+    // toward ±1 without reaching it from t = 0), but clamp the LLR anyway
+    // so a β = 1 tracker cannot produce ±inf.
+    const double llr = 2.0 * std::atanh(std::clamp(t, -0.999999, 0.999999));
+    return std::clamp(llr, -kRhsCmax, kRhsCmax);
+}
+
+double RhsBpDecoder::binarize(double llr) {
+    const std::uint64_t bits = util::derive_stream(seed_, counter_++);
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    const double p1 = 1.0 / (1.0 + std::exp(llr));  // P(bit = 1) under λ
+    return u < p1 ? -1.0 : 1.0;
+}
+
+void RhsBpDecoder::load_channel(std::span<const double> ch) {
+    const auto& cp = code_->params();
+    for (int v = 0; v < cp.k; ++v) ch_in_[static_cast<std::size_t>(v)] = ch[static_cast<std::size_t>(v)];
+    for (int j = 0; j < cp.m(); ++j)
+        ch_p_[static_cast<std::size_t>(j)] = ch[static_cast<std::size_t>(cp.k + j)];
+}
+
+void RhsBpDecoder::reset_state() {
+    std::fill(trk_.begin(), trk_.end(), 0.0);
+    std::fill(v2c_sign_.begin(), v2c_sign_.end(), 0.0);
+    std::fill(down_trk_.begin(), down_trk_.end(), 0.0);
+    std::fill(up_trk_.begin(), up_trk_.end(), 0.0);
+    counter_ = 0;
+}
+
+void RhsBpDecoder::init_layered_totals() {
+    const auto& cp = code_->params();
+    for (int v = 0; v < cp.k; ++v)
+        post_in_[static_cast<std::size_t>(v)] = ch_in_[static_cast<std::size_t>(v)];
+    for (int j = 0; j < cp.m(); ++j)
+        post_p_[static_cast<std::size_t>(j)] = ch_p_[static_cast<std::size_t>(j)];
+}
+
+void RhsBpDecoder::decode_into(std::span<const double> ch, DecodeResult& out) {
+    const auto& cp = code_->params();
+    DVBS2_REQUIRE(ch.size() == static_cast<std::size_t>(cp.n), "channel length mismatch");
+    load_channel(ch);
+    reset_state();
+    if (cfg_.schedule == Schedule::Layered) init_layered_totals();
+
+    int it = 0;
+    bool converged = false;
+    for (; it < cfg_.max_iterations && !converged;) {
+        step();
+        ++it;
+        const bool need_harden =
+            cfg_.early_stop || it == cfg_.max_iterations || static_cast<bool>(observer_);
+        if (need_harden) {
+            if (cfg_.schedule != Schedule::Layered) refresh_posterior();
+            harden(out.codeword);
+            const SyndromeOutcome syn =
+                check_syndrome(*code_, out.codeword, static_cast<bool>(observer_));
+            if (observer_) {
+                IterationTrace trace;
+                trace.iteration = it;
+                trace.unsatisfied_checks = syn.unsatisfied;
+                trace.mean_abs_posterior = mean_abs_posterior();
+                observer_(trace);
+            }
+            converged = cfg_.early_stop && syn.satisfied;
+        }
+    }
+    if (cfg_.max_iterations == 0) {
+        refresh_posterior();  // trackers are zero: posterior = channel
+        harden(out.codeword);
+    }
+    if (!cfg_.early_stop && cfg_.max_iterations > 0)
+        converged = check_syndrome(*code_, out.codeword).satisfied;
+    out.iterations = it;
+    out.converged = converged;
+    copy_info_bits(out);
+}
+
+void RhsBpDecoder::step() {
+    if (cfg_.schedule != Schedule::Layered) variable_phase();
+    switch (cfg_.schedule) {
+        case Schedule::TwoPhase: check_phase_two_phase(); break;
+        case Schedule::ZigzagForward: check_phase_zigzag(/*segmented=*/false); break;
+        case Schedule::ZigzagSegmented: check_phase_zigzag(/*segmented=*/true); break;
+        case Schedule::ZigzagMap: check_phase_map(); break;
+        case Schedule::Layered: check_phase_layered(); break;
+    }
+}
+
+/// Variable phase (the stochastic half): extrinsic LLR from the channel
+/// plus the tracker-derived c2v estimates, binarized per edge.
+void RhsBpDecoder::variable_phase() {
+    const auto& cp = code_->params();
+    for (int v = 0; v < cp.k; ++v) {
+        const int deg = code_->info_degree(v);
+        const long long* edges = code_->info_edges(v);
+        double total = ch_in_[static_cast<std::size_t>(v)];
+        for (int d = 0; d < deg; ++d)
+            total += tracker_llr(trk_[static_cast<std::size_t>(edges[d])]);
+        for (int d = 0; d < deg; ++d) {
+            const auto e = static_cast<std::size_t>(edges[d]);
+            v2c_sign_[e] = binarize(total - tracker_llr(trk_[e]));
+        }
+    }
+    if (cfg_.schedule == Schedule::TwoPhase) {
+        // Parity nodes binarize like any degree-2 variable node.
+        const int m = cp.m();
+        for (int j = 0; j < m; ++j) {
+            const double chp = ch_p_[static_cast<std::size_t>(j)];
+            const double up = j < m - 1 ? tracker_llr(up_trk_[static_cast<std::size_t>(j)]) : 0.0;
+            pn_a_[static_cast<std::size_t>(j)] = binarize(chp + up);
+            if (j < m - 1)
+                pn_c_[static_cast<std::size_t>(j)] =
+                    binarize(chp + tracker_llr(down_trk_[static_cast<std::size_t>(j)]));
+        }
+    }
+}
+
+void RhsBpDecoder::check_phase_two_phase() {
+    const auto& cp = code_->params();
+    const int m = cp.m();
+    const int kc = code_->check_in_degree();
+    for (int j = 0; j < m; ++j) {
+        const long long base = static_cast<long long>(j) * kc;
+        // Sign product over all inputs; per-input extrinsic = product / input.
+        double prod = pn_a_[static_cast<std::size_t>(j)];
+        if (j > 0) prod *= pn_c_[static_cast<std::size_t>(j - 1)];
+        for (int t = 0; t < kc; ++t) prod *= v2c_sign_[static_cast<std::size_t>(base + t)];
+        for (int t = 0; t < kc; ++t) {
+            const auto e = static_cast<std::size_t>(base + t);
+            trk_[e] = relax(trk_[e], prod * v2c_sign_[e]);
+        }
+        down_trk_[static_cast<std::size_t>(j)] = relax(
+            down_trk_[static_cast<std::size_t>(j)], prod * pn_a_[static_cast<std::size_t>(j)]);
+        if (j > 0)
+            up_trk_[static_cast<std::size_t>(j - 1)] =
+                relax(up_trk_[static_cast<std::size_t>(j - 1)],
+                      prod * pn_c_[static_cast<std::size_t>(j - 1)]);
+    }
+}
+
+void RhsBpDecoder::check_phase_zigzag(bool segmented) {
+    const auto& cp = code_->params();
+    const int m = cp.m();
+    const int q = cp.q;
+    const int kc = code_->check_in_degree();
+
+    // Segment boundaries: FU f starts its local chain at CN f·q from last
+    // iteration's tracker value; snapshot before the sweep overwrites them.
+    if (segmented)
+        for (int f = 1; f < cp.parallelism; ++f)
+            boundary_snapshot_[static_cast<std::size_t>(f)] =
+                down_trk_[static_cast<std::size_t>(f * q - 1)];
+
+    for (int j = 0; j < m; ++j) {
+        const long long base = static_cast<long long>(j) * kc;
+        double left = 0.0;
+        if (j > 0) {
+            const bool at_boundary = segmented && (j % q == 0);
+            const double d_prev = at_boundary
+                                      ? boundary_snapshot_[static_cast<std::size_t>(j / q)]
+                                      : down_trk_[static_cast<std::size_t>(j - 1)];
+            left = binarize(ch_p_[static_cast<std::size_t>(j - 1)] + tracker_llr(d_prev));
+        }
+        const double chp = ch_p_[static_cast<std::size_t>(j)];
+        const double right = binarize(
+            j < m - 1 ? chp + tracker_llr(up_trk_[static_cast<std::size_t>(j)]) : chp);
+
+        double prod = right;
+        if (j > 0) prod *= left;
+        for (int t = 0; t < kc; ++t) prod *= v2c_sign_[static_cast<std::size_t>(base + t)];
+        for (int t = 0; t < kc; ++t) {
+            const auto e = static_cast<std::size_t>(base + t);
+            trk_[e] = relax(trk_[e], prod * v2c_sign_[e]);
+        }
+        down_trk_[static_cast<std::size_t>(j)] =
+            relax(down_trk_[static_cast<std::size_t>(j)], prod * right);
+        if (j > 0)
+            up_trk_[static_cast<std::size_t>(j - 1)] =
+                relax(up_trk_[static_cast<std::size_t>(j - 1)], prod * left);
+    }
+}
+
+void RhsBpDecoder::check_phase_map() {
+    const auto& cp = code_->params();
+    const int m = cp.m();
+    const int kc = code_->check_in_degree();
+
+    // Forward sweep: refresh the forward-chain trackers sequentially (the
+    // MAP variant's d_j recursion), reading last iteration's backward
+    // trackers on the right.
+    for (int j = 0; j < m; ++j) {
+        const long long base = static_cast<long long>(j) * kc;
+        double left = 0.0;
+        if (j > 0)
+            left = binarize(ch_p_[static_cast<std::size_t>(j - 1)] +
+                            tracker_llr(down_trk_[static_cast<std::size_t>(j - 1)]));
+        const double chp = ch_p_[static_cast<std::size_t>(j)];
+        const double right = binarize(
+            j < m - 1 ? chp + tracker_llr(up_trk_[static_cast<std::size_t>(j)]) : chp);
+        double prod = right;
+        if (j > 0) prod *= left;
+        for (int t = 0; t < kc; ++t) prod *= v2c_sign_[static_cast<std::size_t>(base + t)];
+        down_trk_[static_cast<std::size_t>(j)] =
+            relax(down_trk_[static_cast<std::size_t>(j)], prod * right);
+    }
+    // Backward sweep: fresh backward trackers and info-edge outputs, reading
+    // the fresh forward trackers.
+    for (int j = m - 1; j >= 0; --j) {
+        const long long base = static_cast<long long>(j) * kc;
+        double left = 0.0;
+        if (j > 0)
+            left = binarize(ch_p_[static_cast<std::size_t>(j - 1)] +
+                            tracker_llr(down_trk_[static_cast<std::size_t>(j - 1)]));
+        const double chp = ch_p_[static_cast<std::size_t>(j)];
+        const double right = binarize(
+            j < m - 1 ? chp + tracker_llr(up_trk_[static_cast<std::size_t>(j)]) : chp);
+        double prod = right;
+        if (j > 0) prod *= left;
+        for (int t = 0; t < kc; ++t) prod *= v2c_sign_[static_cast<std::size_t>(base + t)];
+        for (int t = 0; t < kc; ++t) {
+            const auto e = static_cast<std::size_t>(base + t);
+            trk_[e] = relax(trk_[e], prod * v2c_sign_[e]);
+        }
+        if (j > 0)
+            up_trk_[static_cast<std::size_t>(j - 1)] =
+                relax(up_trk_[static_cast<std::size_t>(j - 1)], prod * left);
+    }
+}
+
+/// Row-layered sweep over running LLR totals: every CN binarizes the
+/// freshest extrinsic beliefs, and tracker updates fold back immediately.
+void RhsBpDecoder::check_phase_layered() {
+    const auto& cp = code_->params();
+    const int m = cp.m();
+    const int kc = code_->check_in_degree();
+    double signs[kMaxDegree];
+    for (int j = 0; j < m; ++j) {
+        const long long base = static_cast<long long>(j) * kc;
+        double prod = 1.0;
+        for (int t = 0; t < kc; ++t) {
+            const auto e = static_cast<std::size_t>(base + t);
+            const int v = code_->edge_variable(static_cast<long long>(e));
+            const double s = binarize(post_in_[static_cast<std::size_t>(v)] - tracker_llr(trk_[e]));
+            signs[t] = s;
+            prod *= s;
+        }
+        double left = 0.0;
+        if (j > 0) {
+            left = binarize(post_p_[static_cast<std::size_t>(j - 1)] -
+                            tracker_llr(up_trk_[static_cast<std::size_t>(j - 1)]));
+            prod *= left;
+        }
+        const double right = binarize(post_p_[static_cast<std::size_t>(j)] -
+                                      tracker_llr(down_trk_[static_cast<std::size_t>(j)]));
+        prod *= right;
+
+        for (int t = 0; t < kc; ++t) {
+            const auto e = static_cast<std::size_t>(base + t);
+            const int v = code_->edge_variable(static_cast<long long>(e));
+            const double old_msg = tracker_llr(trk_[e]);
+            trk_[e] = relax(trk_[e], prod * signs[t]);
+            post_in_[static_cast<std::size_t>(v)] += tracker_llr(trk_[e]) - old_msg;
+        }
+        if (j > 0) {
+            const auto u = static_cast<std::size_t>(j - 1);
+            const double old_msg = tracker_llr(up_trk_[u]);
+            up_trk_[u] = relax(up_trk_[u], prod * left);
+            post_p_[u] += tracker_llr(up_trk_[u]) - old_msg;
+        }
+        const auto d = static_cast<std::size_t>(j);
+        const double old_msg = tracker_llr(down_trk_[d]);
+        down_trk_[d] = relax(down_trk_[d], prod * right);
+        post_p_[d] += tracker_llr(down_trk_[d]) - old_msg;
+    }
+}
+
+void RhsBpDecoder::refresh_posterior() {
+    const auto& cp = code_->params();
+    for (int v = 0; v < cp.k; ++v) {
+        const int deg = code_->info_degree(v);
+        const long long* edges = code_->info_edges(v);
+        double total = ch_in_[static_cast<std::size_t>(v)];
+        for (int d = 0; d < deg; ++d)
+            total += tracker_llr(trk_[static_cast<std::size_t>(edges[d])]);
+        post_in_[static_cast<std::size_t>(v)] = total;
+    }
+    const int m = cp.m();
+    for (int j = 0; j < m; ++j) {
+        double t = ch_p_[static_cast<std::size_t>(j)] +
+                   tracker_llr(down_trk_[static_cast<std::size_t>(j)]);
+        if (j < m - 1) t += tracker_llr(up_trk_[static_cast<std::size_t>(j)]);
+        post_p_[static_cast<std::size_t>(j)] = t;
+    }
+}
+
+void RhsBpDecoder::harden(util::BitVec& codeword) const {
+    const auto& cp = code_->params();
+    if (codeword.size() != static_cast<std::size_t>(cp.n))
+        codeword = util::BitVec(static_cast<std::size_t>(cp.n));
+    else
+        codeword.clear();
+    for (int v = 0; v < cp.k; ++v)
+        if (post_in_[static_cast<std::size_t>(v)] < 0.0)
+            codeword.set(static_cast<std::size_t>(v), true);
+    for (int j = 0; j < cp.m(); ++j)
+        if (post_p_[static_cast<std::size_t>(j)] < 0.0)
+            codeword.set(static_cast<std::size_t>(cp.k + j), true);
+}
+
+void RhsBpDecoder::copy_info_bits(DecodeResult& out) const {
+    const auto k = static_cast<std::size_t>(code_->params().k);
+    if (out.info_bits.size() != k)
+        out.info_bits = util::BitVec(k);
+    else
+        out.info_bits.clear();
+    for (std::size_t v = 0; v < k; ++v)
+        if (out.codeword.get(v)) out.info_bits.set(v, true);
+}
+
+double RhsBpDecoder::mean_abs_posterior() const {
+    double sum = 0.0;
+    for (double w : post_in_) sum += std::fabs(w);
+    for (double w : post_p_) sum += std::fabs(w);
+    return sum / static_cast<double>(post_in_.size() + post_p_.size());
+}
+
+}  // namespace dvbs2::core

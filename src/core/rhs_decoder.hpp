@@ -1,0 +1,103 @@
+// Relaxed half-stochastic BP decoder (Algorithm::RhsBp).
+//
+// Implements the decoder of PAPERS.md (Leduc-Primeau, Hemati, Mannor,
+// Gross, "Relaxed Half-Stochastic Belief Propagation") on the IRA Tanner
+// graph, following the message-passing trace shape of core/mp_decoder.hpp
+// — all five schedules run, with the same def/use structure the dataflow IR
+// certifies for the MP family (which is why classify_algorithm gives RHS-BP
+// the MP schedule verdicts):
+//
+//   * variable → check ("stochastic half"): each v2c message is binarized
+//     to a single sign bit, sampled as P(bit=1) = 1 / (1 + exp(λ)) from the
+//     extrinsic LLR λ;
+//   * check node: with all inputs reduced to equal-magnitude signs, the
+//     min-sum/boxplus extrinsic degenerates to a sign product — exactly the
+//     XOR a stochastic check node computes;
+//   * check → variable ("relaxed analog half"): each edge keeps a tracker
+//     t ∈ (−1, 1) relaxed toward the CN output sign, t ← (1−β)t + β·(±1).
+//     The tracker estimates E[sign] = tanh(μ/2) of the true BP message μ,
+//     so the LLR fed back to the variable nodes is 2·atanh(t) (clamped to
+//     ±kRhsCmax) — the calibration that lets RHS-BP approach floating BP.
+//
+// Randomness is counter-based (util::derive_stream): the binarization
+// stream is (rhs_seed, counter) with the counter reset at the start of each
+// decode, so a decode is a pure function of (LLRs, rhs_seed) — bit-identical
+// across repeated runs and thread counts, matching the Monte-Carlo
+// determinism contract (pinned by tests/test_algorithms.cpp).
+//
+// Internal header: build through the engine registry
+// (Algorithm::RhsBp, Arithmetic::Float, DecoderBackend::Scalar).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "code/tanner.hpp"
+#include "core/types.hpp"
+
+namespace dvbs2::core {
+
+/// Magnitude cap of the tracker-derived LLRs (|2·atanh(t)| ≤ kRhsCmax).
+inline constexpr double kRhsCmax = 12.0;
+
+class RhsBpDecoder {
+public:
+    RhsBpDecoder(const code::Dvbs2Code& code, const DecoderConfig& cfg);
+
+    void set_observer(std::function<void(const IterationTrace&)> observer) {
+        observer_ = std::move(observer);
+    }
+
+    /// Decodes one frame of channel LLRs (positive favors bit 0).
+    /// Allocation-free once `out` is sized (tracing waives that, like the
+    /// MP decoder: the counted syndrome allocates).
+    void decode_into(std::span<const double> ch, DecodeResult& out);
+
+private:
+    // One iteration in the configured schedule.
+    void step();
+    void variable_phase();
+    void check_phase_two_phase();
+    void check_phase_zigzag(bool segmented);
+    void check_phase_map();
+    void check_phase_layered();
+
+    void load_channel(std::span<const double> ch);
+    void reset_state();
+    void init_layered_totals();
+    void refresh_posterior();
+    void harden(util::BitVec& codeword) const;
+    void copy_info_bits(DecodeResult& out) const;
+    double mean_abs_posterior() const;
+
+    /// Tracker → LLR: 2·atanh(t), clamped to ±kRhsCmax.
+    static double tracker_llr(double t);
+    /// Samples the stochastic sign (±1) of an LLR from the counter stream.
+    double binarize(double llr);
+    /// Relaxes tracker `t` toward the CN output sign `s` (±1).
+    double relax(double t, double s) const { return (1.0 - beta_) * t + beta_ * s; }
+
+    const code::Dvbs2Code* code_;
+    DecoderConfig cfg_;
+    double beta_;
+    std::uint64_t seed_;
+    std::uint64_t counter_ = 0;  ///< reset per decode: pure function of LLRs
+
+    // Tracker state (the c2v storage of the MP skeleton) and binarized v2c
+    // signs, laid out exactly like MpDecoder's message arrays.
+    std::vector<double> trk_;        ///< info-edge trackers t ∈ (−1, 1)
+    std::vector<double> v2c_sign_;   ///< binarized info-edge v2c (±1)
+    std::vector<double> down_trk_;   ///< CN_j → p_j trackers
+    std::vector<double> up_trk_;     ///< CN_{j+1} → p_j trackers
+    std::vector<double> pn_a_;       ///< two-phase parity v2c signs (to CN j)
+    std::vector<double> pn_c_;       ///< two-phase parity v2c signs (to CN j+1)
+    std::vector<double> boundary_snapshot_;  ///< segmented FU boundaries
+    std::vector<double> ch_in_, ch_p_;
+    std::vector<double> post_in_, post_p_;
+
+    std::function<void(const IterationTrace&)> observer_;
+};
+
+}  // namespace dvbs2::core

@@ -29,10 +29,12 @@
 //           via Engine::convergence_snapshot()
 //
 // A "class" is one (code, EngineSpec) combination — i.e. (rate, quant,
-// schedule, backend): only frames of the same class can share a SIMD lane
-// block, so the class is the coalescing key. A "stream" is one tenant's
-// ordered frame sequence within a class; thousands of streams may share a
-// class.
+// algorithm, schedule, backend): only frames of the same class can share a
+// SIMD lane block, so the class is the coalescing key, and two streams that
+// differ only in decoding algorithm land in distinct classes (the SLA
+// router in service/sla.hpp exploits exactly that). A "stream" is one
+// tenant's ordered frame sequence within a class; thousands of streams may
+// share a class.
 //
 // Memory is bounded by construction: admission control caps pending frames
 // at ServiceConfig::queue_capacity, in-flight frames are capped at

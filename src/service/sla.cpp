@@ -1,0 +1,54 @@
+#include "service/sla.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/ir/analyses.hpp"
+
+namespace dvbs2::service {
+
+std::optional<core::Algorithm> select_algorithm(std::span<const FrontierRow> frontier,
+                                                double snr_db, const SlaTarget& sla) {
+    // Nearest measured SNR on the frontier grid.
+    double best_gap = std::numeric_limits<double>::infinity();
+    for (const FrontierRow& row : frontier)
+        best_gap = std::min(best_gap, std::abs(row.snr_db - snr_db));
+    if (!std::isfinite(best_gap)) return std::nullopt;
+
+    // Cheapest adequate at that SNR: highest decoded throughput among the
+    // rows meeting both SLA bounds.
+    std::optional<core::Algorithm> pick;
+    double pick_mbps = -1.0;
+    for (const FrontierRow& row : frontier) {
+        if (std::abs(row.snr_db - snr_db) > best_gap + 1e-9) continue;
+        if (row.ber > sla.max_ber || row.mbps < sla.min_mbps) continue;
+        if (row.mbps > pick_mbps) {
+            pick_mbps = row.mbps;
+            pick = row.algorithm;
+        }
+    }
+    return pick;
+}
+
+core::EngineSpec spec_for(core::Algorithm algorithm, core::EngineSpec base) {
+    base.config.algorithm = algorithm;
+    const analysis::ir::AlgorithmClass& alg = analysis::ir::classify_algorithm(algorithm);
+    if (!alg.supports(base.config.schedule)) {
+        for (int s = 0; s < analysis::ir::kScheduleCount; ++s) {
+            if (alg.schedule_supported[static_cast<std::size_t>(s)]) {
+                base.config.schedule = static_cast<core::Schedule>(s);
+                break;
+            }
+        }
+    }
+    if (!alg.simd_supported && base.config.backend == core::DecoderBackend::Simd)
+        base.config.backend = core::DecoderBackend::Scalar;
+    // Fall back to the registered arithmetic when the derived key is not in
+    // the registry (RHS-BP is float-only: its trackers are the analog half).
+    if (!core::engine_registered(core::engine_key(
+            core::EngineSpec{base.arith, base.config, base.quant})))
+        base.arith = core::Arithmetic::Float;
+    return base;
+}
+
+}  // namespace dvbs2::service

@@ -1,0 +1,60 @@
+// SLA-driven algorithm selection over a measured decode frontier.
+//
+// bench/bench_frontier.cpp measures, per (algorithm, Eb/N0) point, the
+// post-decode BER, the decoded information throughput and the mean
+// iteration count, and emits the rows as BENCH_frontier.json. This module
+// is the consumer of that frontier: given a stream's SLA (a BER ceiling
+// and a throughput floor) and its operating SNR, it picks the cheapest
+// adequate algorithm — the engine registry's Algorithm axis is what makes
+// the choice actionable, because the service keys scheduler classes by the
+// full EngineSpec, so two streams routed to different algorithms coalesce
+// into different classes and never share a lane block (see service.hpp and
+// tests/test_service.cpp).
+//
+// "Cheapest adequate" means: among the frontier rows at the operating SNR
+// that meet BOTH SLA bounds, the one with the highest decoded throughput —
+// the WBF tier's iterations are an order of magnitude cheaper than a
+// message-passing iteration, so when it is adequate it wins; when its BER
+// collapses (low SNR, beyond flipping range) it fails the ceiling and the
+// selection falls back to the BP tiers.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/engine.hpp"
+
+namespace dvbs2::service {
+
+/// One measured frontier point (a row of BENCH_frontier.json).
+struct FrontierRow {
+    core::Algorithm algorithm = core::Algorithm::MinSum;
+    double snr_db = 0.0;          ///< Eb/N0 the row was measured at
+    double ber = 0.0;             ///< post-decode information-bit error rate
+    double mbps = 0.0;            ///< decoded information Mbit/s (wall clock)
+    double mean_iterations = 0.0; ///< mean iterations per frame
+};
+
+/// A stream's service-level agreement.
+struct SlaTarget {
+    double max_ber = 1.0;    ///< acceptable post-decode BER (1 = don't care)
+    double min_mbps = 0.0;   ///< required decoded throughput (0 = don't care)
+};
+
+/// Picks the cheapest adequate algorithm for `sla` from the frontier rows
+/// measured nearest to `snr_db` (rows farther than any other measured SNR
+/// are ignored, so interpolation is "nearest point", matching how the bench
+/// samples the 2-4 dB range on a grid). Returns std::nullopt when no
+/// algorithm meets both bounds at that SNR.
+std::optional<core::Algorithm> select_algorithm(std::span<const FrontierRow> frontier,
+                                                double snr_db, const SlaTarget& sla);
+
+/// Engine spec for running `algorithm`, derived from `base`: sets the
+/// algorithm, downgrades the backend/schedule/arithmetic to ones the
+/// algorithm's derived classification (analysis::ir::classify_algorithm)
+/// and the registry support — e.g. WBF gets two-phase flooding, RHS-BP
+/// gets float arithmetic. The result passes validate_engine_spec and names
+/// a registered engine, so Service::add_class accepts it directly.
+core::EngineSpec spec_for(core::Algorithm algorithm, core::EngineSpec base);
+
+}  // namespace dvbs2::service

@@ -1,0 +1,349 @@
+// Algorithm-axis suite (core/engine.hpp Algorithm, core/wbf_decoder.hpp,
+// core/rhs_decoder.hpp):
+//
+//   * registry matrix — every (Algorithm, Arithmetic, Backend) combination
+//     either constructs a working engine (registered) or throws naming the
+//     key / the obstruction (unregistered); registered_engines() is sorted
+//     and deterministic;
+//   * key rendering — to_string(EngineKey) and the validation diagnostics
+//     name the algorithm (the negative tests that pin satellite error
+//     messages live here);
+//   * WBF decoding — corrects scattered errors on the toy code and on all
+//     eleven long-frame rates, surrenders (0 iterations, not converged)
+//     beyond flipping range, stays inside its iteration budget;
+//   * RHS-BP decoding — corrects scattered errors on all eleven long-frame
+//     rates on every schedule, and is deterministic: same seed => bit-
+//     identical decode across repeated runs, fresh engines, and 1/2/8
+//     Monte-Carlo threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "code/params.hpp"
+#include "code/tanner.hpp"
+#include "comm/parallel.hpp"
+#include "core/engine.hpp"
+#include "quant/fixed.hpp"
+
+namespace dc = dvbs2::code;
+namespace dm = dvbs2::comm;
+namespace dd = dvbs2::core;
+namespace dq = dvbs2::quant;
+using dvbs2::util::BitVec;
+
+namespace {
+
+const dc::Dvbs2Code& toy_code() {
+    static const dc::Dvbs2Code code(dc::toy_params(12, 7, 2, 6, 3));
+    return code;
+}
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// All-zero-codeword channel: +4.0 everywhere except `flips` deterministic
+/// positions carrying a wrong-sign, lower-reliability -2.0. Scattered
+/// few-error patterns are exactly the regime both new algorithm families
+/// must decode (and the all-zero codeword is valid for every LDPC code).
+std::vector<double> flipped_channel(const dc::Dvbs2Code& code, int flips, std::uint64_t seed) {
+    std::vector<double> llr(static_cast<std::size_t>(code.n()), 4.0);
+    for (int f = 0; f < flips; ++f) {
+        const auto v = static_cast<std::size_t>(splitmix64(seed) %
+                                                static_cast<std::uint64_t>(code.n()));
+        llr[v] = -2.0;
+    }
+    return llr;
+}
+
+template <class Fn>
+void expect_throws_mentioning(Fn&& fn, const std::vector<std::string>& needles,
+                              const std::string& context) {
+    try {
+        fn();
+        FAIL() << context << ": expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        for (const auto& needle : needles)
+            EXPECT_NE(what.find(needle), std::string::npos)
+                << context << ": diagnostic \"" << what << "\" does not mention \"" << needle
+                << "\"";
+    }
+}
+
+/// Minimal legal spec for a registry key (schedule picked so validation
+/// passes whenever the key itself is registered).
+dd::EngineSpec spec_for_key(const dd::EngineKey& key, int iters = 30) {
+    dd::EngineSpec spec;
+    spec.arith = key.arith;
+    spec.config.algorithm = key.algorithm;
+    spec.config.backend = key.backend;
+    spec.config.schedule = key.algorithm == dd::Algorithm::Wbf ? dd::Schedule::TwoPhase
+                                                               : dd::Schedule::ZigzagForward;
+    if (key.backend == dd::DecoderBackend::Simd) spec.config.schedule = dd::Schedule::TwoPhase;
+    spec.config.max_iterations = iters;
+    spec.config.rule = dd::CheckRule::MinSum;
+    spec.quant = dq::kQuant6;
+    return spec;
+}
+
+void expect_same_result(const dd::DecodeResult& a, const dd::DecodeResult& b,
+                        const std::string& context) {
+    EXPECT_EQ(a.converged, b.converged) << context;
+    EXPECT_EQ(a.iterations, b.iterations) << context;
+    EXPECT_EQ(BitVec::hamming_distance(a.codeword, b.codeword), 0u) << context;
+    EXPECT_EQ(BitVec::hamming_distance(a.info_bits, b.info_bits), 0u) << context;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- registry matrix
+
+TEST(AlgorithmRegistry, FullMatrixRoundTrip) {
+    const dd::Algorithm algorithms[] = {dd::Algorithm::MinSum, dd::Algorithm::Wbf,
+                                        dd::Algorithm::RhsBp};
+    const dd::Arithmetic ariths[] = {dd::Arithmetic::Float, dd::Arithmetic::Fixed};
+    const dd::DecoderBackend backends[] = {dd::DecoderBackend::Scalar, dd::DecoderBackend::Simd};
+    int registered = 0;
+    for (dd::Algorithm a : algorithms) {
+        for (dd::Arithmetic ar : ariths) {
+            for (dd::DecoderBackend b : backends) {
+                const dd::EngineKey key{a, ar, b};
+                const dd::EngineSpec spec = spec_for_key(key);
+                EXPECT_EQ(dd::engine_key(spec), key);
+                if (dd::engine_registered(key)) {
+                    ++registered;
+                    // Every registered combo constructs a working engine
+                    // that reports the key it was built from.
+                    const auto engine = dd::make_engine(toy_code(), spec);
+                    ASSERT_NE(engine, nullptr) << dd::to_string(key);
+                    EXPECT_FALSE(engine->backend_name().empty()) << dd::to_string(key);
+                    EXPECT_EQ(engine->config().algorithm, a) << dd::to_string(key);
+                    EXPECT_EQ(engine->arithmetic(), ar) << dd::to_string(key);
+                } else {
+                    // Every unregistered combo throws naming the algorithm:
+                    // either validation rejects the (algorithm, backend)
+                    // pair, or the registry lookup misses and the error
+                    // renders the full key.
+                    expect_throws_mentioning([&] { (void)dd::make_engine(toy_code(), spec); },
+                                             {b == dd::DecoderBackend::Simd &&
+                                                      a == dd::Algorithm::MinSum
+                                                  ? "simd"
+                                                  : "algorithm="},
+                                             dd::to_string(key));
+                }
+            }
+        }
+    }
+    EXPECT_EQ(registered, 6);  // the six in-tree engines
+
+    // The pure registry miss (validation passes, no builder): the error
+    // names the complete key.
+    expect_throws_mentioning(
+        [&] {
+            (void)dd::make_engine(toy_code(), spec_for_key({dd::Algorithm::RhsBp,
+                                                            dd::Arithmetic::Fixed,
+                                                            dd::DecoderBackend::Scalar}));
+        },
+        {"no engine registered", "algorithm=rhs-bp", "arithmetic=fixed", "backend=scalar"},
+        "rhs-bp fixed scalar registry miss");
+}
+
+TEST(AlgorithmRegistry, RegisteredEnginesSortedAndDeterministic) {
+    const auto keys = dd::registered_engines();
+    ASSERT_GE(keys.size(), 6u);
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+        EXPECT_TRUE(keys[i - 1] < keys[i])
+            << dd::to_string(keys[i - 1]) << " !< " << dd::to_string(keys[i]);
+    }
+    EXPECT_EQ(keys, dd::registered_engines());  // repeatable
+}
+
+TEST(AlgorithmRegistry, KeyRenderingNamesAllThreeAxes) {
+    EXPECT_EQ(dd::to_string(dd::EngineKey{dd::Algorithm::Wbf, dd::Arithmetic::Fixed,
+                                          dd::DecoderBackend::Scalar}),
+              "algorithm=wbf arithmetic=fixed backend=scalar");
+    EXPECT_EQ(dd::to_string(dd::EngineKey{dd::Algorithm::RhsBp, dd::Arithmetic::Float,
+                                          dd::DecoderBackend::Scalar}),
+              "algorithm=rhs-bp arithmetic=float backend=scalar");
+    EXPECT_EQ(dd::to_string(dd::EngineKey{}),
+              std::string("algorithm=min-sum arithmetic=fixed backend=scalar"));
+}
+
+// ------------------------------------------------ validation diagnostics
+
+TEST(AlgorithmValidation, IllegalCombosNameTheAlgorithm) {
+    // WBF off its derived schedule set: the obstruction names both sides.
+    auto wbf = spec_for_key({dd::Algorithm::Wbf, dd::Arithmetic::Float,
+                             dd::DecoderBackend::Scalar});
+    wbf.config.schedule = dd::Schedule::Layered;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); },
+                             {"algorithm=wbf", "layered"}, "wbf+layered");
+
+    // The new families have no SIMD datapath; the diagnostic says which
+    // algorithm and why.
+    auto wbf_simd = spec_for_key({dd::Algorithm::Wbf, dd::Arithmetic::Fixed,
+                                  dd::DecoderBackend::Simd});
+    expect_throws_mentioning([&] { dd::validate_engine_spec(wbf_simd); },
+                             {"algorithm=wbf", "simd"}, "wbf+simd");
+    auto rhs_simd = spec_for_key({dd::Algorithm::RhsBp, dd::Arithmetic::Fixed,
+                                  dd::DecoderBackend::Simd});
+    expect_throws_mentioning([&] { dd::validate_engine_spec(rhs_simd); },
+                             {"algorithm=rhs-bp", "simd"}, "rhs-bp+simd");
+}
+
+TEST(AlgorithmValidation, KnobRangesChecked) {
+    auto wbf = spec_for_key({dd::Algorithm::Wbf, dd::Arithmetic::Float,
+                             dd::DecoderBackend::Scalar});
+    wbf.config.wbf_alpha = -0.1;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); }, {"wbf_alpha"}, "alpha<0");
+    wbf.config.wbf_alpha = 0.2;
+    wbf.config.wbf_theta = 0.0;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); }, {"wbf_theta"}, "theta=0");
+    wbf.config.wbf_theta = 0.9;
+    wbf.config.wbf_surrender = 1.5;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); }, {"wbf_surrender"},
+                             "surrender>1");
+
+    auto rhs = spec_for_key({dd::Algorithm::RhsBp, dd::Arithmetic::Float,
+                             dd::DecoderBackend::Scalar});
+    rhs.config.rhs_beta = 0.0;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(rhs); }, {"rhs_beta"}, "beta=0");
+    rhs.config.rhs_beta = 1.0;  // boundary is legal (plain hard tracking)
+    EXPECT_NO_THROW(dd::validate_engine_spec(rhs));
+}
+
+// ------------------------------------------------------------------- WBF
+
+TEST(WbfDecoder, CorrectsScatteredErrorsOnToyCode) {
+    auto spec = spec_for_key({dd::Algorithm::Wbf, dd::Arithmetic::Float,
+                              dd::DecoderBackend::Scalar});
+    // The toy code has only 5 checks, so the long-frame surrender default
+    // (12.5% of checks) would trip on any single error; disable it here.
+    spec.config.wbf_surrender = 1.0;
+    const auto engine = dd::make_engine(toy_code(), spec);
+    const auto llr = flipped_channel(toy_code(), 1, 11);
+    const auto r = engine->decode(llr);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.codeword.count(), 0u);  // recovered the all-zero codeword
+    EXPECT_LE(r.iterations, spec.config.max_iterations);
+}
+
+TEST(WbfDecoder, SurrendersBeyondFlippingRange) {
+    auto spec = spec_for_key({dd::Algorithm::Wbf, dd::Arithmetic::Float,
+                              dd::DecoderBackend::Scalar});
+    const auto engine = dd::make_engine(toy_code(), spec);
+    // Alternating-sign garbage: far more unsatisfied checks than the
+    // surrender fraction allows -> fail fast with zero iterations.
+    std::vector<double> llr(static_cast<std::size_t>(toy_code().n()));
+    for (std::size_t i = 0; i < llr.size(); ++i) llr[i] = (i % 2 != 0) ? -1.0 : 1.0;
+    const auto r = engine->decode(llr);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(WbfDecoder, DecodesAllElevenLongFrameRates) {
+    for (const dc::CodeRate rate : dc::all_rates()) {
+        const dc::Dvbs2Code code(dc::standard_params(rate));
+        for (const dd::Arithmetic arith : {dd::Arithmetic::Float, dd::Arithmetic::Fixed}) {
+            const auto engine = dd::make_engine(
+                code, spec_for_key({dd::Algorithm::Wbf, arith, dd::DecoderBackend::Scalar}));
+            const auto llr =
+                flipped_channel(code, 6, 101 + static_cast<std::uint64_t>(rate));
+            const auto r = engine->decode(llr);
+            const std::string which = std::string(dc::to_string(rate)) + " " +
+                                      dd::to_string(arith);
+            EXPECT_TRUE(r.converged) << which;
+            EXPECT_EQ(r.codeword.count(), 0u) << which;
+            EXPECT_GE(r.iterations, 1) << which;  // it actually had to flip
+        }
+    }
+}
+
+// ---------------------------------------------------------------- RHS-BP
+
+TEST(RhsBpDecoder, DecodesAllElevenLongFrameRates) {
+    for (const dc::CodeRate rate : dc::all_rates()) {
+        const dc::Dvbs2Code code(dc::standard_params(rate));
+        const auto engine = dd::make_engine(
+            code, spec_for_key({dd::Algorithm::RhsBp, dd::Arithmetic::Float,
+                                dd::DecoderBackend::Scalar}, 50));
+        const auto llr = flipped_channel(code, 6, 202 + static_cast<std::uint64_t>(rate));
+        const auto r = engine->decode(llr);
+        EXPECT_TRUE(r.converged) << dc::to_string(rate);
+        EXPECT_EQ(r.codeword.count(), 0u) << dc::to_string(rate);
+    }
+}
+
+TEST(RhsBpDecoder, AllFiveSchedulesDecodeTheToyCode) {
+    for (const dd::Schedule schedule :
+         {dd::Schedule::TwoPhase, dd::Schedule::ZigzagForward, dd::Schedule::ZigzagSegmented,
+          dd::Schedule::ZigzagMap, dd::Schedule::Layered}) {
+        auto spec = spec_for_key({dd::Algorithm::RhsBp, dd::Arithmetic::Float,
+                                  dd::DecoderBackend::Scalar}, 50);
+        spec.config.schedule = schedule;
+        const auto engine = dd::make_engine(toy_code(), spec);
+        const auto llr = flipped_channel(toy_code(), 1, 17);
+        const auto r = engine->decode(llr);
+        EXPECT_TRUE(r.converged) << dd::to_string(schedule);
+        EXPECT_EQ(r.codeword.count(), 0u) << dd::to_string(schedule);
+    }
+}
+
+TEST(RhsBpDecoder, RepeatedDecodesAreBitIdentical) {
+    // The binarization stream is (rhs_seed, counter) with the counter reset
+    // per decode: a decode is a pure function of (LLRs, seed), so the same
+    // engine re-decoding, and a fresh engine with the same seed, agree bit
+    // for bit.
+    const auto spec = spec_for_key({dd::Algorithm::RhsBp, dd::Arithmetic::Float,
+                                    dd::DecoderBackend::Scalar}, 40);
+    const auto a = dd::make_engine(toy_code(), spec);
+    const auto b = dd::make_engine(toy_code(), spec);
+    for (std::uint64_t s = 0; s < 4; ++s) {
+        const auto llr = flipped_channel(toy_code(), 2, 300 + s);
+        dd::DecodeResult r1, r2, r3;
+        a->decode_into(llr, r1);
+        a->decode_into(llr, r2);  // same engine, reused state
+        b->decode_into(llr, r3);  // fresh engine, same seed
+        expect_same_result(r1, r2, "rerun seed " + std::to_string(s));
+        expect_same_result(r1, r3, "fresh engine seed " + std::to_string(s));
+    }
+}
+
+TEST(RhsBpDecoder, MonteCarloTalliesThreadInvariant) {
+    // Same seed => bit-identical tallies across 1/2/8 worker threads: the
+    // counter-based binarization keeps each frame's decode independent of
+    // which worker runs it (the ISSUE's determinism contract).
+    auto spec = spec_for_key({dd::Algorithm::RhsBp, dd::Arithmetic::Float,
+                              dd::DecoderBackend::Scalar}, 25);
+    dm::SimConfig cfg;
+    cfg.seed = 5;
+    cfg.limits.max_frames = 24;
+    cfg.limits.min_frames = 24;
+    cfg.limits.target_bit_errors = ~0ULL;
+    cfg.limits.target_frame_errors = ~0ULL;
+    dm::BerPoint ref;
+    bool have_ref = false;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        cfg.threads = threads;
+        const dm::BerPoint p = dm::simulate_point_engine(toy_code(), spec, 2.0, cfg);
+        if (!have_ref) {
+            ref = p;
+            have_ref = true;
+            continue;
+        }
+        EXPECT_EQ(p.frames, ref.frames) << threads;
+        EXPECT_EQ(p.bit_errors, ref.bit_errors) << threads;
+        EXPECT_EQ(p.frame_errors, ref.frame_errors) << threads;
+        EXPECT_EQ(p.undetected_frame_errors, ref.undetected_frame_errors) << threads;
+        EXPECT_DOUBLE_EQ(p.avg_iterations, ref.avg_iterations) << threads;
+    }
+}

@@ -120,19 +120,25 @@ dd::EngineSpec spec_of(dd::Arithmetic arith, dd::DecoderBackend backend, dd::Sch
 // ---------------------------------------------------------------- registry
 
 TEST(EngineRegistry, BuiltinsAreRegistered) {
-    EXPECT_TRUE(dd::engine_registered({dd::Arithmetic::Float, dd::DecoderBackend::Scalar}));
-    EXPECT_TRUE(dd::engine_registered({dd::Arithmetic::Fixed, dd::DecoderBackend::Scalar}));
-    EXPECT_TRUE(dd::engine_registered({dd::Arithmetic::Fixed, dd::DecoderBackend::Simd}));
+    // The six in-tree engines across the (Algorithm, Arithmetic, Backend)
+    // key; the full-matrix round trip lives in tests/test_algorithms.cpp.
+    const dd::EngineKey builtins[] = {
+        {dd::Algorithm::MinSum, dd::Arithmetic::Float, dd::DecoderBackend::Scalar},
+        {dd::Algorithm::MinSum, dd::Arithmetic::Fixed, dd::DecoderBackend::Scalar},
+        {dd::Algorithm::MinSum, dd::Arithmetic::Fixed, dd::DecoderBackend::Simd},
+        {dd::Algorithm::Wbf, dd::Arithmetic::Float, dd::DecoderBackend::Scalar},
+        {dd::Algorithm::Wbf, dd::Arithmetic::Fixed, dd::DecoderBackend::Scalar},
+        {dd::Algorithm::RhsBp, dd::Arithmetic::Float, dd::DecoderBackend::Scalar},
+    };
+    for (const auto& key : builtins) EXPECT_TRUE(dd::engine_registered(key));
 
     const auto keys = dd::registered_engines();
-    ASSERT_GE(keys.size(), 3u);
+    ASSERT_GE(keys.size(), 6u);
     int found = 0;
     for (const auto& k : keys)
-        if (k == dd::EngineKey{dd::Arithmetic::Float, dd::DecoderBackend::Scalar} ||
-            k == dd::EngineKey{dd::Arithmetic::Fixed, dd::DecoderBackend::Scalar} ||
-            k == dd::EngineKey{dd::Arithmetic::Fixed, dd::DecoderBackend::Simd})
-            ++found;
-    EXPECT_EQ(found, 3);
+        for (const auto& b : builtins)
+            if (k == b) ++found;
+    EXPECT_EQ(found, 6);
 }
 
 namespace {
@@ -161,7 +167,7 @@ private:
 TEST(EngineRegistry, RegisterAndReplace) {
     // (Float, Simd) has no builtin builder (validate_engine_spec rejects the
     // combination before lookup), so it is a safe scratch key.
-    const dd::EngineKey key{dd::Arithmetic::Float, dd::DecoderBackend::Simd};
+    const dd::EngineKey key{dd::Algorithm::MinSum, dd::Arithmetic::Float, dd::DecoderBackend::Simd};
     EXPECT_FALSE(dd::engine_registered(key));
 
     dd::register_engine(key, [](const dc::Dvbs2Code&, const dd::EngineSpec& spec) {
@@ -638,6 +644,10 @@ TEST(EngineProperties, EarlyStopConvergedMatchesFullBudgetCodeword) {
     const auto& code = toy_code();
     const double snrs[] = {1.0, 2.5, 4.0};
     for (const auto& key : dd::registered_engines()) {
+        // The property is about the MP family's early stop; the WBF and
+        // RHS-BP families have their own convergence tests in
+        // tests/test_algorithms.cpp.
+        if (key.algorithm != dd::Algorithm::MinSum) continue;
         for (const dd::Schedule schedule :
              {dd::Schedule::TwoPhase, dd::Schedule::ZigzagForward, dd::Schedule::ZigzagSegmented,
               dd::Schedule::ZigzagMap, dd::Schedule::Layered}) {
