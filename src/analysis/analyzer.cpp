@@ -11,9 +11,13 @@ Report lint_configuration(const code::CodeParams& params, const code::IraTables&
     Report rep = lint_code_structure(params, tables);
 
     // Range analysis depends only on parameters and the decoder config, so
-    // it runs even when the table itself is broken.
-    for (const quant::QuantSpec& spec : opts.quant_specs)
+    // it runs even when the table itself is broken. The legacy min-sum
+    // stage table first (cross-check tier), then the per-event IR
+    // certification, which carries all three algorithm tiers.
+    for (const quant::QuantSpec& spec : opts.quant_specs) {
         rep.merge(lint_fixed_point(params, opts.decoder, spec));
+        rep.merge(lint_range_ir(params, opts.decoder, spec));
+    }
 
     // Schedule and memory rules need the expanded graph; a structurally
     // broken table cannot be expanded, so stop here with the findings.

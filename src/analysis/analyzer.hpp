@@ -12,6 +12,7 @@
 #include "analysis/lint_dataflow.hpp"
 #include "analysis/lint_memory.hpp"
 #include "analysis/lint_range.hpp"
+#include "analysis/lint_range_ir.hpp"
 #include "analysis/lint_schedule.hpp"
 #include "analysis/lint_transform.hpp"
 #include "arch/anneal.hpp"

@@ -1,0 +1,171 @@
+// Per-event fixed-point range certification: an interval-domain abstract
+// interpreter over the schedule dataflow IR (ir.hpp), for all three
+// algorithm tiers (min-sum message passing, weighted bit flipping, relaxed
+// half-stochastic BP).
+//
+// The interpreter walks the compiled Def/Use/Sink event trace of a schedule
+// and maintains, per storage word, a proven magnitude bound (a symmetric
+// interval [-b, +b]; every transfer function in all three datapaths is odd,
+// so symmetric intervals lose nothing). Each firing — a maximal run of
+// events from one (iteration, phase, unit) — applies the algorithm's
+// abstract transfer function:
+//
+//   * min-sum tier: Eq. 4 variable-node accumulation and per-edge
+//     extrinsic subtraction, zigzag chain wire-adds, the check-node combine
+//     (min for the min-sum rules, min + correction peak for the exact
+//     boxplus LUT), and the finalize step (normalization's (v*n+8)>>4 or
+//     the offset subtraction), with saturation at the quantizer bound;
+//   * WBF tier: reliability write-back (|y| <= channel clamp), per-check
+//     reliability weights (an order-statistic bound: the stored w is the
+//     check's min1/min2, never above the second-smallest input bound), the
+//     flip-metric accumulation E_v = sum w + alpha*|y|, and the surrender
+//     gate's unsatisfied-check counter;
+//   * RHS-BP tier: tracker relaxation keeps t in [-1, 1], so every stored
+//     message obeys the 2*atanh clamp; posteriors accumulate channel +
+//     degree * clamp.
+//
+// Layered posterior words are the one place plain interval iteration
+// diverges (post += new - old grows without bound in the abstract), so they
+// use a sum-shape accumulator domain: the bound is maintained as
+// channel + sum of per-contribution bounds, and the paired def events of a
+// layered firing (contribution word immediately followed by its posterior
+// word, as trace.cpp emits them) are interpreted as *replacement* of that
+// contribution. The independent checker re-verifies the pairing from the
+// event stream.
+//
+// Iteration blocks are interpreted repeatedly, widening slow-moving words,
+// until a fixpoint state S*; the whole trace is then annotated from S*, so
+// every event carries a bound valid for ANY iteration count (S* covers the
+// real initial state). The result is a RangeCertificate: per-space and
+// per-named-stage proven bounds, a bound for every trace event, and the
+// exact first offending event when a bound exceeds its capacity.
+//
+// Following the repo's search -> certificate -> independent-check pattern
+// (transform.hpp), `check_range_certificate` shares no code with the
+// interpreter: it replays the claimed bounds event-by-event (recomputing
+// every transfer from the claims, enforcing capacities, re-deriving the
+// layered pairing) and replays the final iteration block once more to
+// confirm S* is closed. A witness concretizer turns the proven peaks into
+// an adversarial LLR input that drives the real decoder to the bounds in
+// tests (tightness), see tests/test_absint.cpp.
+//
+// Like the rest of dvbs2_ir this header is below core and quant: the word
+// format is passed as plain numbers (AbsintSpec), and callers convert their
+// quant::QuantSpec (see core/engine.cpp and analysis/lint_range_ir.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ir/ir.hpp"
+
+namespace dvbs2::analysis::ir {
+
+/// Plain-number description of the fixed-point datapath a trace is
+/// certified against. Callers derive it from a quant::QuantSpec plus the
+/// DecoderConfig knobs; keeping it numeric keeps dvbs2_ir below dvbs2_quant.
+struct AbsintSpec {
+    core::Algorithm algorithm = core::Algorithm::MinSum;
+    core::CheckRule rule = core::CheckRule::Exact;  ///< min-sum tier combine rule
+    long long max_raw = 31;         ///< R: message saturation bound of the quantizer
+    long long channel_clamp = 31;   ///< bound on |quantized channel LLR| (<= max_raw)
+    long long corr_peak = 0;        ///< exact-rule correction LUT peak, raw units
+    long long wide_capacity = 2147483647;  ///< accumulator word capacity
+    long long norm_num = 12;        ///< normalized-rule numerator (normalization * 16)
+    long long offset_raw = 0;       ///< offset-rule subtrahend, raw units (sign kept)
+    double wbf_alpha = 0.2;         ///< WBF reliability weight in the flip metric
+    long long rhs_cmax_raw = 48;    ///< RHS-BP 2*atanh tracker clamp, raw units
+};
+
+/// One named wide-accumulator checkpoint of the abstract run. Stage names
+/// are stable identifiers shared with the legacy range.* family where the
+/// datapaths coincide (vn-accumulate, cn-combine, finalize-*, ...), plus
+/// the per-algorithm stages (wbf-flip-metric, rhs-atanh-clamp, ...).
+struct StageBound {
+    std::string stage;
+    long long worst = 0;
+    long long capacity = 0;
+    std::int64_t event = -1;  ///< trace event where the peak occurs (-1 = static)
+    bool fits() const noexcept { return worst <= capacity; }
+};
+
+/// The interpreter's output: machine-checkable proven bounds for one
+/// (trace, AbsintSpec) pair. `event_bound[i]` bounds the value event i
+/// writes (Def) or observes (Use/Sink); `space_bound[s]` is the maximum
+/// over the space's events; `stages` carries the named checkpoints.
+/// On overflow, `first_offender` is the first event (in trace order) whose
+/// bound exceeds its capacity and `offender_stage` names the violated
+/// stage or storage space.
+struct RangeCertificate {
+    core::Schedule schedule{};
+    core::Algorithm algorithm{};
+    AbsintSpec spec;
+    bool ok = false;
+    std::vector<long long> space_bound;   ///< kSpaceCount entries
+    std::vector<long long> event_bound;   ///< one entry per trace event
+    std::vector<StageBound> stages;
+    std::int64_t first_offender = -1;
+    std::string offender_stage;
+    int fixpoint_rounds = 0;  ///< abstract iterations until the state closed
+    int widenings = 0;        ///< words widened to top during fixpointing
+};
+
+/// Storage capacity of a space under `spec` (the quantizer bound for the
+/// fixed message words, the wide accumulator capacity for posterior totals
+/// and for the RHS-BP tier, whose registered engines store doubles).
+long long space_capacity(Space s, const AbsintSpec& spec);
+
+/// Runs the abstract interpreter over `trace` and emits the certificate.
+/// Never throws on overflow — an unsound configuration yields ok == false
+/// with the offender named; throws only on malformed traces.
+RangeCertificate certify_ranges(const Trace& trace, const AbsintSpec& spec);
+
+struct RangeRejection {
+    std::string reason;
+    std::int64_t event = -1;  ///< offending trace event, -1 = certificate-level
+};
+
+struct RangeCheck {
+    bool ok = false;
+    std::optional<RangeRejection> rejection;
+};
+
+/// Independent certificate checker (shares no code with certify_ranges):
+/// replays `cert` event-by-event against `trace`, recomputing every
+/// transfer from the claimed bounds, enforcing space and stage capacities,
+/// and re-running the final iteration block to prove the claimed state is
+/// a post-fixpoint. Accepts ok certificates whose claims hold everywhere,
+/// and overflow certificates whose named first offender matches the first
+/// violation the replay finds.
+RangeCheck check_range_certificate(const Trace& trace, const AbsintSpec& spec,
+                                   const RangeCertificate& cert);
+
+/// How a witness input drives the decoder to the proven peaks.
+enum class WitnessPattern {
+    AllSaturate,  ///< every channel LLR at the saturation bound, all-zero codeword
+    SingleFlip,   ///< as AllSaturate, but one information bit's sign flipped
+};
+
+/// Adversarial input concretized from a certificate: a channel vector that
+/// reaches the per-space proven peaks on the real decoder. `peaks` echoes
+/// the certificate bounds the witness is expected to attain (raw units).
+struct RangeWitness {
+    core::Algorithm algorithm{};
+    WitnessPattern pattern{};
+    double channel_magnitude = 0;  ///< |LLR| every channel input is driven at
+    std::vector<long long> peaks;  ///< kSpaceCount expected per-space bounds
+    std::string note;              ///< how to run the decoder against it
+};
+
+/// Builds the witness recipe for `cert`. The expansion to a concrete LLR
+/// vector is `witness_llrs`; tests pick the flip position (a maximum-degree
+/// information bit keeps the witness adversarial for the flip metric).
+RangeWitness concretize_witness(const AbsintSpec& spec, const RangeCertificate& cert);
+
+/// Expands a witness to n channel LLRs (flip_index < 0 disables the flip).
+std::vector<double> witness_llrs(const RangeWitness& witness, long long n,
+                                 long long flip_index);
+
+}  // namespace dvbs2::analysis::ir

@@ -1,16 +1,26 @@
 // Rule family `range.*`: worst-case fixed-point range analysis of the
-// decoder datapath (paper Sec. 2.1, the 5/6-bit message quantization).
+// MIN-SUM decoder datapath (paper Sec. 2.1, the 5/6-bit message
+// quantization), kept as the hand-maintained cross-check tier behind the
+// per-event IR certifier (lint_range_ir.hpp, rule family `range.ir.*`).
 //
 // The analyzer propagates worst-case magnitude intervals through every
-// datapath stage the decoder executes — channel quantization, the wide
-// variable-node accumulation of Eq. 4, the zigzag chain adds, the layered
-// posterior totals, the check-node combine (correction-LUT boxplus or
-// min-sum) and the finalize step of the selected check rule — and proves
-// that no stage can exceed its hardware register capacity for ANY input,
-// and that no rule parameter silently saturates the datapath to zero
-// ("saturation ambiguity": a decoder that only ever emits 0 still halts,
-// but corrects nothing). Configurations whose static worst case exceeds the
-// representable range are rejected.
+// datapath stage the min-sum decoder executes — channel quantization, the
+// wide variable-node accumulation of Eq. 4, the zigzag chain adds, the
+// layered posterior totals, the check-node combine and the finalize step of
+// the selected check rule — and proves that no stage can exceed its
+// hardware register capacity for ANY input, and that no rule parameter
+// silently saturates the datapath to zero ("saturation ambiguity": a
+// decoder that only ever emits 0 still halts, but corrects nothing).
+// Configurations whose static worst case exceeds the representable range
+// are rejected.
+//
+// Algorithm scope: the stage table models min-sum only. For algorithm=wbf
+// or rhs-bp the family emits the `range.algorithm-scope` note and defers
+// the verdict to `range.ir.*`, whose abstract interpreter carries the
+// per-algorithm transfer functions — it never silently assumes min-sum.
+// The quantizer legality gates (`range.quantizer-degenerate`,
+// `range.clamp-mismatch`, `range.check-degree-cap`) run for every
+// algorithm; they constrain the word format, not the datapath.
 //
 // Rules:
 //   range.quantizer-degenerate  width/fraction outside the supported space
@@ -21,6 +31,8 @@
 //   range.check-degree-cap      check degree exceeds the datapath buffers
 //   range.clamp-mismatch        (warning) quantizer range exceeds the ±30
 //                               reference clamp, fixed/float divergence
+//   range.algorithm-scope       (note) non-min-sum config routed to the
+//                               range.ir.* certifier
 #pragma once
 
 #include <string>

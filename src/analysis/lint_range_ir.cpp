@@ -1,0 +1,204 @@
+#include "analysis/lint_range_ir.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "analysis/ir/analyses.hpp"
+#include "analysis/ir/transform.hpp"
+#include "analysis/lint_range.hpp"
+#include "core/rhs_decoder.hpp"  // kRhsCmax
+#include "util/math.hpp"         // kLlrClamp
+
+namespace dvbs2::analysis {
+
+ir::AbsintSpec absint_spec_for(const core::DecoderConfig& cfg, const quant::QuantSpec& spec) {
+    // Mirrors core/engine.cpp's absint_spec_of exactly (pinned against
+    // core::engine_range_certificate by tests/test_absint.cpp), so a lint
+    // verdict and an engine-construction verdict can never diverge.
+    ir::AbsintSpec a;
+    a.algorithm = cfg.algorithm;
+    a.rule = cfg.rule;
+    a.max_raw = spec.max_raw();
+    a.channel_clamp = cfg.algorithm == core::Algorithm::RhsBp
+                          ? std::llround(std::ceil(util::kLlrClamp / spec.step()))
+                          : a.max_raw;
+    a.corr_peak = cfg.rule == core::CheckRule::Exact
+                      ? std::llround(std::nearbyint(std::log1p(1.0) / spec.step()))
+                      : 0;
+    a.wide_capacity = std::numeric_limits<std::int32_t>::max();
+    a.norm_num = std::llround(cfg.normalization * 16.0);
+    a.offset_raw = cfg.rule == core::CheckRule::OffsetMinSum
+                       ? std::llround(cfg.offset / spec.step())
+                       : 0;
+    a.wbf_alpha = cfg.wbf_alpha;
+    a.rhs_cmax_raw = std::llround(std::ceil(core::kRhsCmax / spec.step()));
+    return a;
+}
+
+ir::TraceDims range_trace_dims(const code::CodeParams& cp) {
+    // The scaled model dims every IR analysis runs at (P=4, q=3), carrying
+    // this code's worst-case fan-ins: its check in-degree and one
+    // information node of its highest degree. The abstract bounds grow only
+    // with per-firing fan-in, never with m or N, so the model covers the
+    // full-size code.
+    ir::TraceDims d;
+    d.check_in_degree = cp.check_deg > 3 ? cp.check_deg - 2 : 1;
+    const long long e = d.e_in();
+    const long long deg = std::max(cp.deg_hi, cp.deg_lo);
+    d.edge_variable.assign(static_cast<std::size_t>(e), 0);
+    std::int32_t next = 1;
+    for (long long ed = std::min(deg, e); ed < e; ++ed)
+        d.edge_variable[static_cast<std::size_t>(ed)] = next++;
+    d.num_info_nodes = next;
+    return d;
+}
+
+namespace {
+
+std::string bounds_summary(const ir::RangeCertificate& cert) {
+    std::string s;
+    for (int sp = 0; sp < ir::kSpaceCount; ++sp) {
+        if (cert.space_bound[static_cast<std::size_t>(sp)] == 0) continue;
+        if (!s.empty()) s += ", ";
+        s += std::string(ir::to_string(static_cast<ir::Space>(sp))) + "<=" +
+             std::to_string(cert.space_bound[static_cast<std::size_t>(sp)]);
+    }
+    return s.empty() ? std::string("all spaces unused") : s;
+}
+
+}  // namespace
+
+RangeIrAnalysis analyze_range_ir(const code::CodeParams& cp, const core::DecoderConfig& cfg,
+                                 const quant::QuantSpec& spec) {
+    RangeIrAnalysis out;
+    Report& rep = out.report;
+    const std::string loc = "quantizer " + std::to_string(spec.total_bits) + "." +
+                            std::to_string(spec.frac_bits) + " schedule=" +
+                            core::to_string(cfg.schedule) + " algorithm=" +
+                            core::to_string(cfg.algorithm);
+
+    // Outside the certifiable space the step()/max_raw() arithmetic below
+    // is meaningless; range.quantizer-degenerate already carries the error.
+    if (spec.total_bits < 2 || spec.total_bits > 31 || spec.frac_bits < 0 ||
+        spec.frac_bits >= spec.total_bits) {
+        rep.add("range.ir.quantizer", Severity::Note, loc,
+                "quantizer is outside the certifiable space; no certificate produced",
+                "see range.quantizer-degenerate for the hard error");
+        return out;
+    }
+
+    // No datapath exists for an algorithm x schedule combination the IR
+    // layer rejects; engine validation refuses it with the same obstruction.
+    const ir::AlgorithmClass& alg = ir::classify_algorithm(cfg.algorithm);
+    if (!alg.supports(cfg.schedule)) {
+        rep.add("range.ir.schedule", Severity::Note, loc,
+                "algorithm cannot run this schedule (" + alg.obstruction(cfg.schedule) +
+                    "); nothing to certify",
+                "validate_engine_spec rejects the combination with the same obstruction");
+        return out;
+    }
+
+    const ir::AbsintSpec aspec = absint_spec_for(cfg, spec);
+    const ir::Trace trace = ir::build_schedule_trace(cfg.schedule, range_trace_dims(cp));
+    out.certificate = ir::certify_ranges(trace, aspec);
+    const ir::RangeCertificate& cert = *out.certificate;
+    const ir::RangeCheck chk = ir::check_range_certificate(trace, aspec, cert);
+    out.checker_ok = chk.ok;
+
+    if (!chk.ok) {
+        // An interpreter/checker disagreement is an analyzer defect: the
+        // certificate must never be trusted unchecked.
+        std::string what = "independent checker rejected the certificate: " +
+                           (chk.rejection ? chk.rejection->reason : std::string("?"));
+        if (chk.rejection && chk.rejection->event >= 0)
+            what += " at " + ir::describe_event(
+                                 trace.events[static_cast<std::size_t>(chk.rejection->event)]);
+        rep.add("range.ir.checker", Severity::Error, loc, what,
+                "report this as an analyzer defect; the config cannot be certified");
+        return out;
+    }
+
+    if (!cert.ok) {
+        std::string what = "proven bound exceeds capacity: " + cert.offender_stage;
+        if (cert.first_offender >= 0)
+            what += ", first at " +
+                    ir::describe_event(
+                        trace.events[static_cast<std::size_t>(cert.first_offender)]);
+        rep.add("range.ir.overflow", Severity::Error, loc, what,
+                "narrow the message quantizer or lower the maximum node degree");
+    } else {
+        rep.add("range.ir.certificate", Severity::Note, loc,
+                "checker-accepted certificate: " + bounds_summary(cert) + " (fixpoint in " +
+                    std::to_string(cert.fixpoint_rounds) + " rounds, " +
+                    std::to_string(cert.widenings) + " widenings)",
+                "");
+    }
+
+    // Cross-check tier: the legacy hand-maintained stage table. For min-sum
+    // it must agree with the certificate (subsumption contract); for the
+    // other tiers it is algorithm-blind by design and defers to this family.
+    if (cfg.algorithm == core::Algorithm::MinSum) {
+        const RangeAnalysis legacy = analyze_fixed_point_range(cp, cfg, spec);
+        const bool legacy_overflow = !legacy.report.by_rule("range.accumulator-overflow").empty();
+        if (legacy_overflow == !cert.ok) {
+            rep.add("range.ir.legacy", Severity::Note, loc,
+                    std::string("legacy range.* stage table agrees: ") +
+                        (cert.ok ? "both clean" : "both overflow"),
+                    "");
+        } else {
+            rep.add("range.ir.legacy", Severity::Error, loc,
+                    std::string("verdict diverges from the legacy stage table: certificate ") +
+                        (cert.ok ? "clean" : "overflow") + " but legacy " +
+                        (legacy_overflow ? "overflow" : "clean"),
+                    "report this as an analyzer defect; the two families must agree on "
+                    "the min-sum datapath");
+        }
+    } else {
+        rep.add("range.ir.legacy", Severity::Note, loc,
+                std::string("legacy range.* family is algorithm-blind for ") +
+                    core::to_string(cfg.algorithm) + "; this certificate is the sole verdict",
+                "");
+    }
+    return out;
+}
+
+Report lint_range_ir(const code::CodeParams& cp, const core::DecoderConfig& cfg,
+                     const quant::QuantSpec& spec) {
+    return analyze_range_ir(cp, cfg, spec).report;
+}
+
+void render_certificate_json(std::ostream& os, const std::string& target,
+                             const core::DecoderConfig& cfg, const quant::QuantSpec& spec,
+                             const RangeIrAnalysis& analysis) {
+    os << "{\"target\": \"" << target << "\", \"schedule\": \"" << core::to_string(cfg.schedule)
+       << "\", \"algorithm\": \"" << core::to_string(cfg.algorithm) << "\", \"quant\": \""
+       << spec.total_bits << "." << spec.frac_bits << "\"";
+    if (!analysis.certificate) {
+        os << ", \"certified\": false}";
+        return;
+    }
+    const ir::RangeCertificate& cert = *analysis.certificate;
+    os << ", \"certified\": true, \"ok\": " << (cert.ok ? "true" : "false")
+       << ", \"checker_ok\": " << (analysis.checker_ok ? "true" : "false")
+       << ", \"fixpoint_rounds\": " << cert.fixpoint_rounds
+       << ", \"widenings\": " << cert.widenings << ", \"space_bounds\": {";
+    for (int sp = 0; sp < ir::kSpaceCount; ++sp) {
+        if (sp != 0) os << ", ";
+        os << "\"" << ir::to_string(static_cast<ir::Space>(sp))
+           << "\": " << cert.space_bound[static_cast<std::size_t>(sp)];
+    }
+    os << "}, \"stages\": [";
+    for (std::size_t i = 0; i < cert.stages.size(); ++i) {
+        const ir::StageBound& s = cert.stages[i];
+        if (i != 0) os << ", ";
+        os << "{\"stage\": \"" << s.stage << "\", \"worst\": " << s.worst
+           << ", \"capacity\": " << s.capacity << ", \"fits\": " << (s.fits() ? "true" : "false")
+           << "}";
+    }
+    os << "], \"first_offender\": " << cert.first_offender << ", \"offender_stage\": \""
+       << cert.offender_stage << "\"}";
+}
+
+}  // namespace dvbs2::analysis

@@ -15,6 +15,28 @@
 
 namespace dvbs2::core {
 
+/// Observed pre-saturation peaks of a fixed-point decode. A probe attached
+/// to FixedArith records the largest magnitudes that actually flowed through
+/// the datapath, so the range-certification witness tests can compare a
+/// real decode against the abstract interpreter's proven stage bounds
+/// (tests/test_absint.cpp): `wide_peak` must never exceed the certified
+/// accumulator bound and `word_peak` must never exceed the stored-word
+/// bound — and the concretized adversarial witness must drive both to the
+/// proven peak exactly. Detached (the default) the hooks cost one branch.
+struct RangeProbe {
+    long long wide_peak = 0;  ///< largest |w| entering narrow(), pre-saturation
+    long long word_peak = 0;  ///< largest |v| leaving narrow()/finalize (stored words)
+
+    void see_wide(long long w) noexcept {
+        if (w < 0) w = -w;
+        if (w > wide_peak) wide_peak = w;
+    }
+    void see_word(long long v) noexcept {
+        if (v < 0) v = -v;
+        if (v > word_peak) word_peak = v;
+    }
+};
+
 /// Floating-point arithmetic: `Value` is a clamped double LLR.
 class FloatArith {
 public:
@@ -80,10 +102,21 @@ public:
 
     const quant::QuantSpec& spec() const noexcept { return spec_; }
 
+    /// Attaches (or detaches, with nullptr) a peak observer. The probe must
+    /// outlive the arithmetic object while attached.
+    void attach_probe(RangeProbe* probe) noexcept { probe_ = probe; }
+
     Value zero() const noexcept { return 0; }
     Value from_llr(double llr) const noexcept { return quant::quantize(llr, spec_); }
     Wide to_wide(Value v) const noexcept { return v; }
-    Value narrow(Wide w) const noexcept { return quant::saturate(w, spec_); }
+    Value narrow(Wide w) const noexcept {
+        const Value v = quant::saturate(w, spec_);
+        if (probe_) {
+            probe_->see_wide(w);
+            probe_->see_word(v);
+        }
+        return v;
+    }
     bool is_negative(Wide w) const noexcept { return w < 0; }
 
     Value combine(Value a, Value b) const noexcept {
@@ -92,20 +125,24 @@ public:
     }
 
     Value finalize(Value v) const noexcept {
+        Value out;
         switch (rule_) {
             case CheckRule::NormalizedMinSum: {
                 // Round-to-nearest fixed scale; symmetric for ±v.
                 const Wide scaled = v * norm_num_;
                 const Wide rounded = scaled >= 0 ? (scaled + 8) >> 4 : -((-scaled + 8) >> 4);
-                return quant::saturate(rounded, spec_);
+                out = quant::saturate(rounded, spec_);
+                break;
             }
             case CheckRule::OffsetMinSum: {
                 const Value mag = (v < 0 ? -v : v) - offset_raw_;
-                if (mag <= 0) return 0;
-                return v < 0 ? -mag : mag;
+                out = mag <= 0 ? Value(0) : (v < 0 ? -mag : mag);
+                break;
             }
-            default: return v;
+            default: out = v; break;
         }
+        if (probe_) probe_->see_word(out);
+        return out;
     }
 
 private:
@@ -114,6 +151,7 @@ private:
     const quant::BoxplusTable* table_;
     quant::QLLR norm_num_;
     quant::QLLR offset_raw_;
+    RangeProbe* probe_ = nullptr;
 };
 
 }  // namespace dvbs2::core

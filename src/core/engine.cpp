@@ -7,13 +7,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <stdexcept>
+#include <tuple>
 #include <type_traits>
 #include <utility>
 
 #include "analysis/ir/analyses.hpp"
 #include "analysis/ir/transform.hpp"
+#include "code/params.hpp"
 #include "core/arith.hpp"
 #include "core/mp_decoder.hpp"
 #include "core/rhs_decoder.hpp"
@@ -32,6 +36,101 @@ std::string to_string(const EngineKey& key) {
 
 // ------------------------------------------------------------- validation
 
+namespace {
+
+/// Family-envelope trace dimensions for range certification: the scaled
+/// model dims every IR analysis runs at (P=4, q=3), carrying the WORST-CASE
+/// degrees over all shipped long-frame rates — the largest check in-degree
+/// and an information node of the largest deg_hi — so one certificate per
+/// (algorithm, schedule, datapath numbers) covers every standard code. The
+/// abstract bounds grow only with per-firing fan-in (vn sums, flip metrics),
+/// never with m or N, so the envelope dominates the full-size codes.
+const analysis::ir::TraceDims& range_envelope_dims() {
+    static const analysis::ir::TraceDims dims = [] {
+        int max_kc = 2;
+        int max_deg = 3;
+        for (code::CodeRate r : code::all_rates()) {
+            const code::CodeParams p = code::standard_params(r);
+            max_kc = std::max(max_kc, p.check_deg - 2);
+            max_deg = std::max(max_deg, p.deg_hi);
+        }
+        analysis::ir::TraceDims d;
+        d.check_in_degree = max_kc;
+        const long long e = d.e_in();
+        // variable 0 takes deg_hi edges; every other edge is its own
+        // degree-1 node (degree only sharpens the vn-accumulate peak)
+        d.edge_variable.assign(static_cast<std::size_t>(e), 0);
+        std::int32_t next = 1;
+        for (long long ed = std::min<long long>(max_deg, e); ed < e; ++ed)
+            d.edge_variable[static_cast<std::size_t>(ed)] = next++;
+        d.num_info_nodes = next;
+        return d;
+    }();
+    return dims;
+}
+
+/// Translates the spec's quantizer and knobs into the IR layer's numeric
+/// datapath description (raw units of the quantizer step).
+analysis::ir::AbsintSpec absint_spec_of(const EngineSpec& spec) {
+    const DecoderConfig& c = spec.config;
+    analysis::ir::AbsintSpec a;
+    a.algorithm = c.algorithm;
+    a.rule = c.rule;
+    a.max_raw = spec.quant.max_raw();
+    // fixed tiers quantize the channel at the word bound; the RHS-BP tier
+    // stores doubles, so its channel carries the repo-wide LLR clamp
+    a.channel_clamp = c.algorithm == Algorithm::RhsBp
+                          ? std::llround(std::ceil(util::kLlrClamp / spec.quant.step()))
+                          : a.max_raw;
+    a.corr_peak = c.rule == CheckRule::Exact
+                      ? std::llround(std::nearbyint(std::log1p(1.0) / spec.quant.step()))
+                      : 0;
+    a.wide_capacity = std::numeric_limits<std::int32_t>::max();
+    a.norm_num = std::llround(c.normalization * 16.0);
+    a.offset_raw = c.rule == CheckRule::OffsetMinSum
+                       ? std::llround(c.offset / spec.quant.step())
+                       : 0;
+    a.wbf_alpha = c.wbf_alpha;
+    a.rhs_cmax_raw = std::llround(std::ceil(kRhsCmax / spec.quant.step()));
+    return a;
+}
+
+}  // namespace
+
+analysis::ir::RangeCertificate engine_range_certificate(const EngineSpec& spec) {
+    const analysis::ir::AbsintSpec a = absint_spec_of(spec);
+    using Key = std::tuple<int, int, int, long long, long long, long long, long long, long long,
+                           long long, long long>;
+    const Key key{static_cast<int>(a.algorithm),
+                  static_cast<int>(a.rule),
+                  static_cast<int>(spec.config.schedule),
+                  a.max_raw,
+                  a.channel_clamp,
+                  a.corr_peak,
+                  a.norm_num,
+                  a.offset_raw,
+                  std::llround(a.wbf_alpha * 1e9),
+                  a.rhs_cmax_raw};
+    static std::mutex mu;
+    static std::map<Key, analysis::ir::RangeCertificate>& cache =
+        *new std::map<Key, analysis::ir::RangeCertificate>();
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        const auto it = cache.find(key);
+        if (it != cache.end()) return it->second;
+    }
+    const analysis::ir::Trace trace =
+        analysis::ir::build_schedule_trace(spec.config.schedule, range_envelope_dims());
+    analysis::ir::RangeCertificate cert = analysis::ir::certify_ranges(trace, a);
+    // the certificate is only trusted checked: an interpreter bug must fail
+    // construction loudly, never silently admit an overflowing datapath
+    const analysis::ir::RangeCheck chk = analysis::ir::check_range_certificate(trace, a, cert);
+    DVBS2_REQUIRE(chk.ok, "range certificate failed its independent check: " +
+                              (chk.rejection ? chk.rejection->reason : std::string("?")));
+    const std::lock_guard<std::mutex> lock(mu);
+    return cache.emplace(key, std::move(cert)).first->second;
+}
+
 void validate_engine_spec(const EngineSpec& spec) {
     const DecoderConfig& c = spec.config;
     DVBS2_REQUIRE(c.max_iterations >= 0, "max_iterations must be non-negative, got " +
@@ -44,19 +143,26 @@ void validate_engine_spec(const EngineSpec& spec) {
         DVBS2_REQUIRE(c.offset >= 0.0, "offset must be non-negative for rule=offset-min-sum, "
                                        "got " + std::to_string(c.offset));
     if (c.algorithm == Algorithm::Wbf) {
-        DVBS2_REQUIRE(c.wbf_alpha >= 0.0, "wbf_alpha must be non-negative for algorithm=wbf, "
-                                          "got " + std::to_string(c.wbf_alpha));
-        DVBS2_REQUIRE(c.wbf_theta > 0.0 && c.wbf_theta <= 1.0,
-                      "wbf_theta must be in (0, 1] for algorithm=wbf (1 = single-bit flips), "
-                      "got " + std::to_string(c.wbf_theta));
-        DVBS2_REQUIRE(c.wbf_surrender > 0.0 && c.wbf_surrender <= 1.0,
-                      "wbf_surrender must be in (0, 1] for algorithm=wbf (fraction of checks), "
-                      "got " + std::to_string(c.wbf_surrender));
+        DVBS2_REQUIRE(c.wbf_alpha > 0.0,
+                      "wbf_alpha must be positive for algorithm=wbf (alpha=0 drops the "
+                      "reliability term and degenerates the flip metric to plain Gallager "
+                      "check counting), got " + std::to_string(c.wbf_alpha));
+        DVBS2_REQUIRE(c.wbf_theta >= 1e-6 && c.wbf_theta <= 1.0,
+                      "wbf_theta must be in [1e-6, 1] for algorithm=wbf (1 = single-bit "
+                      "flips; a smaller threshold flips every positive-metric bit at once "
+                      "and oscillates), got " + std::to_string(c.wbf_theta));
+        DVBS2_REQUIRE(c.wbf_surrender > 0.0 && c.wbf_surrender < 1.0,
+                      "wbf_surrender must be in (0, 1) for algorithm=wbf (fraction of "
+                      "checks; surrender=1 means the gate waits for MORE than every check "
+                      "to fail and never fires), got " + std::to_string(c.wbf_surrender));
     }
     if (c.algorithm == Algorithm::RhsBp)
-        DVBS2_REQUIRE(c.rhs_beta > 0.0 && c.rhs_beta <= 1.0,
-                      "rhs_beta must be in (0, 1] for algorithm=rhs-bp (1 = no relaxation), "
-                      "got " + std::to_string(c.rhs_beta));
+        DVBS2_REQUIRE(c.rhs_beta >= 1e-6 && c.rhs_beta < 1.0,
+                      "rhs_beta must be in [1e-6, 1) for algorithm=rhs-bp (beta=1 removes "
+                      "the tracker memory entirely — t copies the instantaneous sign and "
+                      "the decoder degenerates to hard-decision gossip; beta below 1e-6 "
+                      "freezes the trackers at their initial state), got " +
+                          std::to_string(c.rhs_beta));
     // Algorithm × (schedule, backend) legality is derived by the IR layer
     // (analysis::ir::classify_algorithm), not hardcoded here: the verdicts
     // come from the same trace analyses that certify the lane mappings.
@@ -101,6 +207,27 @@ void validate_engine_spec(const EngineSpec& spec) {
                           std::string("backend=simd with lane_mode=frame-per-lane cannot run "
                                       "schedule=") +
                               to_string(c.schedule) + ": the schedule shares state across frames");
+        }
+    }
+    if (spec.arith == Arithmetic::Fixed) {
+        // Per-event range certification over the dataflow IR (absint.hpp):
+        // the family-envelope certificate must prove every stored word and
+        // wide accumulator fits the spec's quantizer, or the spec is
+        // rejected naming the first overflowing event. Every registered
+        // <= 16-bit quantizer fits (the worst vn sum stays far inside the
+        // 32-bit accumulators); this is the safety net for wider datapaths
+        // and externally registered builders.
+        const analysis::ir::RangeCertificate cert = engine_range_certificate(spec);
+        if (!cert.ok) {
+            const analysis::ir::Trace trace =
+                analysis::ir::build_schedule_trace(c.schedule, range_envelope_dims());
+            std::string what = std::string("quantization overflows the ") +
+                               to_string(c.algorithm) + " datapath: " + cert.offender_stage;
+            if (cert.first_offender >= 0)
+                what += ", first at " +
+                        analysis::ir::describe_event(
+                            trace.events[static_cast<std::size_t>(cert.first_offender)]);
+            DVBS2_REQUIRE(false, what);
         }
     }
 }

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/ir/absint.hpp"
 #include "code/tanner.hpp"
 #include "core/types.hpp"
 #include "quant/fixed.hpp"
@@ -56,6 +57,17 @@ struct EngineSpec {
 /// from make_engine, the Decoder/FixedDecoder wrappers — routes through
 /// this, so there is exactly one place that decides legality.
 void validate_engine_spec(const EngineSpec& spec);
+
+/// The per-event range certificate validate_engine_spec consults for
+/// fixed-arithmetic specs: the abstract interpreter's proven bounds for the
+/// spec's (algorithm, schedule, quantizer) over the family-envelope trace
+/// dims (worst-case degrees over every shipped long-frame rate, so one
+/// certificate covers all standard codes). Always returned checker-verified
+/// (check_range_certificate accepted it); cached per datapath key, so
+/// repeated engine construction certifies once. Works for any legal
+/// schedule/algorithm combination regardless of the quantizer width —
+/// `ok == false` certificates name the first overflowing event.
+analysis::ir::RangeCertificate engine_range_certificate(const EngineSpec& spec);
 
 /// Type-erased decoder engine. All LLR spans use the channel sign
 /// convention (positive favors bit 0) and must have size N; batched calls

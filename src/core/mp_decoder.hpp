@@ -147,6 +147,11 @@ public:
     /// Posterior totals after step(): information nodes, then parity nodes.
     const std::vector<Wide>& posterior_in() const noexcept { return post_in_; }
     const std::vector<Wide>& posterior_p() const noexcept { return post_p_; }
+
+    /// Mutable access to the arithmetic back-end, so a test can attach a
+    /// core::RangeProbe to the fixed arithmetic and read the real decode's
+    /// pre-saturation peaks (the range-certification witness tier).
+    Arith& arith() noexcept { return arith_; }
     /// Loaded channel values (begin() must have run): information / parity.
     const std::vector<Value>& channel_in() const noexcept { return ch_in_; }
     const std::vector<Value>& channel_p() const noexcept { return ch_p_; }

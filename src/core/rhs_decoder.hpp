@@ -55,6 +55,13 @@ public:
     /// MP decoder: the counted syndrome allocates).
     void decode_into(std::span<const double> ch, DecodeResult& out);
 
+    /// Posterior totals of the last decode (channel + clamped tracker
+    /// LLRs), exposed so the range-certification witness tests can compare
+    /// a real decode's peaks against the certified post-info/post-parity
+    /// bounds (every |2·atanh(t)| contribution is clamped to kRhsCmax).
+    const std::vector<double>& posterior_in() const noexcept { return post_in_; }
+    const std::vector<double>& posterior_p() const noexcept { return post_p_; }
+
 private:
     // One iteration in the configured schedule.
     void step();

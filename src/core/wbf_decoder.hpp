@@ -108,6 +108,15 @@ public:
         observer_ = std::move(observer);
     }
 
+    /// Internal-state views for the range-certification witness tests:
+    /// valid after decode_into ran at least one flip pass. `reliabilities`
+    /// are the |y| write-backs, `check_weights_min1` the per-check smallest
+    /// neighbor reliability (the stored weight the certifier bounds), and
+    /// `flip_metrics` the last flip pass's per-bit metric E_v.
+    const std::vector<Value>& reliabilities() const noexcept { return rel_; }
+    const std::vector<Value>& check_weights_min1() const noexcept { return w1_; }
+    const std::vector<double>& flip_metrics() const noexcept { return metric_; }
+
     /// Decodes one frame of channel values (sign convention: positive
     /// favors bit 0). Allocation-free once `out` is sized.
     void decode_into(std::span<const Value> y, DecodeResult& out) {

@@ -205,19 +205,44 @@ TEST(AlgorithmValidation, KnobRangesChecked) {
                              dd::DecoderBackend::Scalar});
     wbf.config.wbf_alpha = -0.1;
     expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); }, {"wbf_alpha"}, "alpha<0");
+    // alpha=0 degenerates the flip metric to Gallager check counting: a
+    // named diagnostic, not a silently-legal engine.
+    wbf.config.wbf_alpha = 0.0;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); }, {"wbf_alpha", "Gallager"},
+                             "alpha=0");
     wbf.config.wbf_alpha = 0.2;
     wbf.config.wbf_theta = 0.0;
     expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); }, {"wbf_theta"}, "theta=0");
+    // a representable-but-degenerate threshold flips every positive-metric
+    // bit at once; theta=1 (single-bit flips) stays legal.
+    wbf.config.wbf_theta = 1e-9;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); }, {"wbf_theta"},
+                             "theta~0");
+    wbf.config.wbf_theta = 1.0;
+    EXPECT_NO_THROW(dd::validate_engine_spec(wbf));
     wbf.config.wbf_theta = 0.9;
     wbf.config.wbf_surrender = 1.5;
     expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); }, {"wbf_surrender"},
                              "surrender>1");
+    // surrender=1 means "give up only when MORE than every check fails":
+    // the gate can never fire, so the knob is dead — named diagnostic.
+    wbf.config.wbf_surrender = 1.0;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(wbf); },
+                             {"wbf_surrender", "never fires"}, "surrender=1");
 
     auto rhs = spec_for_key({dd::Algorithm::RhsBp, dd::Arithmetic::Float,
                              dd::DecoderBackend::Scalar});
     rhs.config.rhs_beta = 0.0;
     expect_throws_mentioning([&] { dd::validate_engine_spec(rhs); }, {"rhs_beta"}, "beta=0");
-    rhs.config.rhs_beta = 1.0;  // boundary is legal (plain hard tracking)
+    // beta below the representable floor freezes the trackers at init;
+    // beta=1 removes the relaxation memory entirely. Both are named.
+    rhs.config.rhs_beta = 1e-9;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(rhs); }, {"rhs_beta", "freezes"},
+                             "beta~0");
+    rhs.config.rhs_beta = 1.0;
+    expect_throws_mentioning([&] { dd::validate_engine_spec(rhs); },
+                             {"rhs_beta", "hard-decision"}, "beta=1");
+    rhs.config.rhs_beta = 0.999;  // near-boundary relaxation stays legal
     EXPECT_NO_THROW(dd::validate_engine_spec(rhs));
 }
 
@@ -227,8 +252,9 @@ TEST(WbfDecoder, CorrectsScatteredErrorsOnToyCode) {
     auto spec = spec_for_key({dd::Algorithm::Wbf, dd::Arithmetic::Float,
                               dd::DecoderBackend::Scalar});
     // The toy code has only 5 checks, so the long-frame surrender default
-    // (12.5% of checks) would trip on any single error; disable it here.
-    spec.config.wbf_surrender = 1.0;
+    // (12.5% of checks) would trip on any single error; raise the gate to
+    // the legal maximum (surrender=1 exactly is rejected as a dead knob).
+    spec.config.wbf_surrender = 0.99;
     const auto engine = dd::make_engine(toy_code(), spec);
     const auto llr = flipped_channel(toy_code(), 1, 11);
     const auto r = engine->decode(llr);

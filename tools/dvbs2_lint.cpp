@@ -78,6 +78,7 @@ int usage(const std::string& msg) {
               << "                  [--only=FAMILY[,FAMILY...]] (family or family.rule prefix)\n"
               << "                  [--banks=N] [--writes=N] [--latency=N] [--buffer-depth=N]\n"
               << "                  [--no-anneal] [--bits=N --frac=N]\n"
+              << "                  [--range-cert-json=FILE] (write range.ir certificates)\n"
               << "                  [--schedule=S] [--check-rule=R] [--normalization=X] "
                  "[--offset=X]\n"
               << "                  [--algorithm=A]\n"
@@ -126,7 +127,8 @@ int main(int argc, char** argv) {
         util::CliArgs args(argc, argv,
                            {"rate", "frame", "table", "format", "only", "banks", "writes",
                             "latency", "buffer-depth", "no-anneal", "bits", "frac", "schedule",
-                            "algorithm", "check-rule", "normalization", "offset", "quiet"});
+                            "algorithm", "check-rule", "normalization", "offset", "quiet",
+                            "range-cert-json"});
 
         analysis::LintOptions opts;
         opts.memory.num_banks = static_cast<int>(args.get_int("banks", 4));
@@ -223,6 +225,27 @@ int main(int argc, char** argv) {
             }
         }
         if (format == "json") std::cout << "\n]\n";
+        // machine-readable certificate sidecar (CI `range-certify` artifact)
+        if (args.has("range-cert-json")) {
+            const std::string path = args.get("range-cert-json", "");
+            std::ofstream certs(path);
+            if (!certs) {
+                std::cerr << "dvbs2_lint: cannot write " << path << "\n";
+                return 2;
+            }
+            certs << "[\n";
+            bool first = true;
+            for (const Target& t : targets) {
+                for (const quant::QuantSpec& spec : opts.quant_specs) {
+                    const analysis::RangeIrAnalysis a =
+                        analysis::analyze_range_ir(t.params, opts.decoder, spec);
+                    if (!first) certs << ",\n";
+                    first = false;
+                    analysis::render_certificate_json(certs, t.name, opts.decoder, spec, a);
+                }
+            }
+            certs << "\n]\n";
+        }
         if (format == "text")
             std::cout << (errors == 0 ? "LINT PASS" : "LINT FAIL") << " (" << targets.size()
                       << " target(s), " << errors << " error(s))\n";
